@@ -1,0 +1,28 @@
+// Ablation bench: MIRO tunnels vs prefix deaggregation vs AS-path
+// prepending for inbound traffic engineering (the Section 1.2 footnote).
+//
+// Expected shape: deaggregation moves a large, coarse chunk but costs one
+// routing-table entry in EVERY AS; prepending is free but moves little
+// (local preference is compared before AS-path length, so only same-class
+// ties budge) and barely improves with depth; MIRO moves a meaningful,
+// finely-negotiated share with state at just two ASes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/te_comparison.hpp"
+
+int main(int argc, char** argv) {
+  try {
+  const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  for (const std::string& profile : args.profiles) {
+    const miro::eval::ExperimentPlan plan(args.config_for(profile));
+    miro::eval::print(miro::eval::run_te_comparison(plan), std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

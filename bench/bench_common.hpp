@@ -1,0 +1,72 @@
+// Shared command-line handling for the reproduction benches.
+//
+// Every bench accepts:
+//   --profile <name>   topology profile (default: all four paper profiles)
+//   --scale <x>        profile scale in (0,1], default 0.5
+//   --dests <n>        sampled destinations (default 80)
+//   --sources <n>      sampled sources per destination (default 40)
+//   --seed <n>         sampling seed (default 42)
+// so the paper tables regenerate quickly by default and at full scale on
+// request.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.hpp"
+
+namespace miro::bench {
+
+struct BenchArgs {
+  std::vector<std::string> profiles{"gao2000", "gao2003", "gao2005",
+                                    "agarwal2004"};
+  double scale = 0.5;
+  eval::EvalConfig config;  // profile filled per run
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    args.config.destination_samples = 80;
+    args.config.sources_per_destination = 40;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (flag == "--profile") {
+        args.profiles = {value()};
+      } else if (flag == "--scale") {
+        args.scale = std::atof(value());
+      } else if (flag == "--dests") {
+        args.config.destination_samples =
+            static_cast<std::size_t>(std::atoll(value()));
+      } else if (flag == "--sources") {
+        args.config.sources_per_destination =
+            static_cast<std::size_t>(std::atoll(value()));
+      } else if (flag == "--seed") {
+        args.config.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--profile NAME] [--scale X] [--dests N] "
+                     "[--sources N] [--seed N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  eval::EvalConfig config_for(const std::string& profile) const {
+    eval::EvalConfig config = this->config;
+    config.profile = profile;
+    config.scale = scale;
+    return config;
+  }
+};
+
+}  // namespace miro::bench

@@ -1,0 +1,24 @@
+// Regenerates Figure 5.1: the node degree distribution.
+//
+// Paper shape: a heavy-tailed distribution where "only 0.2% of the ASes has
+// more than 200 neighbors, and less than 1% has more than 40"; the
+// high-degree nodes are the tier-1 core.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/dataset_report.hpp"
+
+int main(int argc, char** argv) {
+  try {
+  const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  for (const std::string& profile : args.profiles) {
+    miro::eval::print_degree_distribution(profile, args.scale, std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

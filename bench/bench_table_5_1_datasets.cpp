@@ -1,0 +1,25 @@
+// Regenerates Table 5.1: attributes of the data sets.
+//
+// Paper values (measured RouteViews snapshots):
+//   Gao 2000: 8829 nodes, 17793 edges, 16531 P/C, 1031 peer, 231 sibling
+//   Gao 2003: 16130 / 34231 / 30649 / 3062 / 520
+//   Gao 2005: 20930 / 44998 / 40558 / 3753 / 687
+//   Agarwal 2004: 16921 / 38282 / 34552 / 3553 / 177
+// The synthetic profiles reproduce the edge-per-node density and the
+// relationship mix at the requested scale.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/dataset_report.hpp"
+
+int main(int argc, char** argv) {
+  try {
+  const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::eval::print_dataset_table(args.profiles, args.scale, std::cout);
+  return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

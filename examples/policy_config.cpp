@@ -1,0 +1,121 @@
+// Driving MIRO from the Chapter 6 policy language.
+//
+// Parses the dissertation's Section 6.3 requester and responder
+// configurations (the "extended route-map" syntax), evaluates the requester's
+// trigger against its BGP candidates on the Figure 3.1 topology, prices the
+// responder's candidate routes through its negotiation filter, and completes
+// the negotiation within the budget the policy sets.
+//
+// Build & run:  ./build/examples/policy_config
+#include <iostream>
+
+#include "core/alternates.hpp"
+#include "policy/policy_engine.hpp"
+#include "topology/as_graph.hpp"
+
+using namespace miro;
+
+int main() {
+  // Figure 3.1 again; AS numbers 1..6 = A..F, and the "bad" AS is E (= 5).
+  topo::AsGraph graph;
+  const auto a = graph.add_as(1), b = graph.add_as(2), c = graph.add_as(3);
+  const auto d = graph.add_as(4), e = graph.add_as(5), f = graph.add_as(6);
+  graph.add_customer_provider(b, a);
+  graph.add_customer_provider(d, a);
+  graph.add_customer_provider(b, e);
+  graph.add_customer_provider(d, e);
+  graph.add_customer_provider(c, f);
+  graph.add_customer_provider(e, f);
+  graph.add_peer(b, c);
+  graph.add_peer(c, e);
+  (void)d;
+
+  const char* requester_config = R"(
+! Requesting AS (A): always try to avoid AS 5.
+router bgp 1
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-5
+ip as-path access-list 200 deny _5_
+ip as-path access-list 200 permit .*
+negotiation NEG-5
+match all path _5_
+start negotiation with maximum cost 250
+)";
+  const char* responder_config = R"(
+! Responding AS (B): sell customer routes for 120, peer routes for 180.
+router bgp 2
+accept negotiation from any
+when tunnel_number < 1000
+negotiation filter FILTER-1
+filter permit local_pref > 300
+set tunnel_cost 120
+filter permit local_pref > 100
+set tunnel_cost 180
+)";
+
+  policy::PolicyEngine requester(policy::parse_config(requester_config));
+  policy::PolicyEngine responder(policy::parse_config(responder_config));
+  std::cout << "Parsed requester (AS "
+            << *requester.config().local_as << ") and responder (AS "
+            << *responder.config().local_as << ") configurations.\n\n";
+
+  // The requester's BGP candidates toward F.
+  bgp::StableRouteSolver solver(graph);
+  const bgp::RoutingTree tree = solver.solve(f);
+  std::vector<policy::CandidateRoute> candidates;
+  std::cout << "AS 1's BGP candidates toward AS 6:\n";
+  for (const bgp::Route& route : solver.candidates_at(tree, a)) {
+    policy::CandidateRoute candidate;
+    for (std::size_t i = 1; i < route.path.size(); ++i)
+      candidate.as_path.push_back(graph.as_number(route.path[i]));
+    candidate.local_pref = bgp::conventional_local_pref(route.route_class);
+    std::cout << "  path:";
+    for (auto asn : candidate.as_path) std::cout << " " << asn;
+    std::cout << "  local-pref " << candidate.local_pref << "\n";
+    candidates.push_back(std::move(candidate));
+  }
+
+  // Trigger evaluation: every candidate crosses AS 5 -> negotiate.
+  const auto trigger = requester.evaluate_trigger("AVOID_AS", candidates);
+  if (!trigger) {
+    std::cout << "\nno trigger: some candidate already avoids AS 5\n";
+    return 0;
+  }
+  std::cout << "\ntrigger fired: negotiation '" << trigger->negotiation_name
+            << "', max cost " << *trigger->max_cost << ", targets:";
+  for (auto asn : trigger->targets) std::cout << " AS" << asn;
+  std::cout << "\n";
+
+  // Responder side: price what AS 2 could offer.
+  std::cout << "\nAS 2 prices its candidate routes toward AS 6:\n";
+  bool deal = false;
+  for (const bgp::Route& route : solver.candidates_at(tree, b)) {
+    policy::CandidateRoute candidate;
+    for (std::size_t i = 1; i < route.path.size(); ++i)
+      candidate.as_path.push_back(graph.as_number(route.path[i]));
+    candidate.local_pref = bgp::conventional_local_pref(route.route_class);
+    const auto price = responder.price_for(candidate);
+    std::cout << "  path:";
+    for (auto asn : candidate.as_path) std::cout << " " << asn;
+    if (!price) {
+      std::cout << "  -> not offered (no filter permits it)\n";
+      continue;
+    }
+    std::cout << "  -> price " << *price;
+    const bool avoids = !route.traverses(e);
+    const bool affordable = *price <= *trigger->max_cost;
+    if (avoids && affordable && responder.admits(1, 0)) {
+      std::cout << "  ACCEPTED (avoids AS 5, within budget)";
+      deal = true;
+    } else if (!avoids) {
+      std::cout << "  rejected: crosses AS 5";
+    } else if (!affordable) {
+      std::cout << "  rejected: over budget";
+    }
+    std::cout << "\n";
+  }
+  std::cout << (deal ? "\nnegotiation succeeds.\n"
+                     : "\nnegotiation fails.\n");
+  return deal ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+#include "bgp/decision_process.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace miro::bgp {
+namespace {
+
+using Survivors = std::vector<std::size_t>;
+
+template <typename Key>
+void keep_minimal(std::span<const RouterRoute> candidates,
+                  Survivors& survivors, Key&& key) {
+  auto best = key(candidates[survivors.front()]);
+  for (std::size_t i : survivors) best = std::min(best, key(candidates[i]));
+  Survivors kept;
+  for (std::size_t i : survivors)
+    if (key(candidates[i]) == best) kept.push_back(i);
+  survivors = std::move(kept);
+}
+
+}  // namespace
+
+DecisionResult decide(std::span<const RouterRoute> candidates) {
+  require(!candidates.empty(), "decide: empty candidate set");
+  Survivors survivors(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) survivors[i] = i;
+  if (survivors.size() == 1) return {survivors.front(), 0};
+
+  auto finished = [&](int step) -> std::optional<DecisionResult> {
+    if (survivors.size() == 1) return DecisionResult{survivors.front(), step};
+    return std::nullopt;
+  };
+
+  // 1. Highest local preference.
+  keep_minimal(candidates, survivors,
+               [](const RouterRoute& r) { return -r.local_pref; });
+  if (auto done = finished(1)) return *done;
+
+  // 2. Shortest AS path.
+  keep_minimal(candidates, survivors,
+               [](const RouterRoute& r) { return r.as_path.size(); });
+  if (auto done = finished(2)) return *done;
+
+  // 3. Lowest origin type.
+  keep_minimal(candidates, survivors, [](const RouterRoute& r) {
+    return static_cast<int>(r.origin);
+  });
+  if (auto done = finished(3)) return *done;
+
+  // 4. Lowest MED within the same next-hop AS (deterministic MED):
+  // for each next-hop-AS group, eliminate members above the group minimum.
+  {
+    Survivors kept;
+    for (std::size_t i : survivors) {
+      const auto next_as = candidates[i].as_path.empty()
+                               ? topo::AsNumber{0}
+                               : candidates[i].as_path.front();
+      int group_min = candidates[i].med;
+      for (std::size_t j : survivors) {
+        const auto other_as = candidates[j].as_path.empty()
+                                  ? topo::AsNumber{0}
+                                  : candidates[j].as_path.front();
+        if (other_as == next_as) group_min = std::min(group_min,
+                                                      candidates[j].med);
+      }
+      if (candidates[i].med == group_min) kept.push_back(i);
+    }
+    survivors = std::move(kept);
+  }
+  if (auto done = finished(4)) return *done;
+
+  // 5. Prefer eBGP-learned over iBGP-learned.
+  keep_minimal(candidates, survivors, [](const RouterRoute& r) {
+    return r.learned_via_ebgp ? 0 : 1;
+  });
+  if (auto done = finished(5)) return *done;
+
+  // 6. Lowest IGP distance to the egress point.
+  keep_minimal(candidates, survivors, [](const RouterRoute& r) {
+    return r.igp_distance_to_egress;
+  });
+  if (auto done = finished(6)) return *done;
+
+  // 7. Lowest advertising router id.
+  keep_minimal(candidates, survivors, [](const RouterRoute& r) {
+    return r.advertising_router_id;
+  });
+  if (auto done = finished(7)) return *done;
+
+  // 8. Lowest peer interface address.
+  keep_minimal(candidates, survivors, [](const RouterRoute& r) {
+    return r.peer_address.value();
+  });
+  return {survivors.front(), 8};
+}
+
+}  // namespace miro::bgp

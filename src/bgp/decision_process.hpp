@@ -1,0 +1,48 @@
+// The router-level BGP best-path selection process (Table 2.1).
+//
+// Within an AS, different routers can select different AS paths for the same
+// prefix because later tie-breaking steps (eBGP-over-iBGP, IGP distance,
+// router id, peer address) depend on where the router sits. MIRO's intra-AS
+// architecture (Section 4.1) builds on exactly this behaviour, so the full
+// eight-step process is implemented here and exercised by the Figure 4.1
+// scenario in the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "topology/as_graph.hpp"
+
+namespace miro::bgp {
+
+/// BGP origin attribute; lower is preferred (step 3).
+enum class Origin : std::uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+/// A candidate route as seen by one router inside an AS.
+struct RouterRoute {
+  std::vector<topo::AsNumber> as_path;
+  int local_pref = 100;
+  Origin origin = Origin::Igp;
+  int med = 0;                     ///< Multi-Exit Discriminator (step 4)
+  bool learned_via_ebgp = true;    ///< step 5
+  int igp_distance_to_egress = 0;  ///< step 6
+  std::uint32_t advertising_router_id = 0;  ///< step 7
+  net::Ipv4Address peer_address;            ///< step 8
+  std::uint32_t egress_router = 0;  ///< which router in this AS exits
+};
+
+/// Result of the selection: which candidate won and the 1-based step of
+/// Table 2.1 that decided (0 when there was a single candidate).
+struct DecisionResult {
+  std::size_t best_index = 0;
+  int deciding_step = 0;
+};
+
+/// Runs the eight elimination steps over a non-empty candidate set.
+/// Step 4 (MED) is compared only among routes whose next-hop AS matches,
+/// using deterministic-MED group elimination.
+DecisionResult decide(std::span<const RouterRoute> candidates);
+
+}  // namespace miro::bgp

@@ -1,0 +1,64 @@
+#include "bgp/gao_rexford.hpp"
+
+namespace miro::bgp {
+
+PolicyHooks relaxed_peering_hooks(const AsGraph& graph) {
+  PolicyHooks hooks;
+  const AsGraph* g = &graph;
+  hooks.exports = [g](NodeId owner, const Route& route, NodeId neighbor) {
+    return conventional_export_allows(route.route_class,
+                                      g->relationship(owner, neighbor));
+  };
+  hooks.prefers = [g](const Route& a, const Route& b) {
+    // Customer and peer routes share the top band.
+    auto band = [](RouteClass cls) {
+      switch (cls) {
+        case RouteClass::Self: return 0;
+        case RouteClass::Customer:
+        case RouteClass::Peer: return 1;
+        case RouteClass::Provider: return 2;
+      }
+      return 2;
+    };
+    if (band(a.route_class) != band(b.route_class))
+      return band(a.route_class) < band(b.route_class);
+    if (a.length() != b.length()) return a.length() < b.length();
+    const AsNumber next_a = g->as_number(a.next_hop());
+    const AsNumber next_b = g->as_number(b.next_hop());
+    if (next_a != next_b) return next_a < next_b;
+    return a.path < b.path;
+  };
+  return hooks;
+}
+
+std::size_t BackupLinks::count_on_path(
+    const std::vector<NodeId>& path) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (contains(path[i], path[i + 1])) ++count;
+  return count;
+}
+
+PolicyHooks backup_link_hooks(const AsGraph& graph,
+                              const BackupLinks& backups) {
+  PolicyHooks hooks;
+  const AsGraph* g = &graph;
+  const BackupLinks* b = &backups;
+  hooks.exports = [g, b](NodeId owner, const Route& route, NodeId neighbor) {
+    // Backup routes propagate everywhere: "backup links ... normally carry
+    // no traffic unless there is a link failure", so reachability through
+    // them must not be filtered away by the conventional rules.
+    if (b->count_on_path(route.path) > 0) return true;
+    return conventional_export_allows(route.route_class,
+                                      g->relationship(owner, neighbor));
+  };
+  hooks.prefers = [g, b](const Route& x, const Route& y) {
+    const std::size_t bx = b->count_on_path(x.path);
+    const std::size_t by = b->count_on_path(y.path);
+    if (bx != by) return bx < by;  // fewest backup links wins outright
+    return prefer(x, y, *g);
+  };
+  return hooks;
+}
+
+}  // namespace miro::bgp

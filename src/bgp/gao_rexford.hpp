@@ -1,0 +1,57 @@
+// The Gao-Rexford policy-guideline family (Section 7.2) as pluggable
+// PathVectorEngine hooks.
+//
+// The dissertation's convergence results for MIRO are built on the three
+// BGP guideline sets of Gao & Rexford:
+//   1. no backup links, customer > peer > provider (Guideline A — the
+//      engine's default policy);
+//   2. "constrained peer-to-peer agreements": peer routes may be equally
+//      preferred as customer routes;
+//   3. backup links: links that "normally carry no traffic unless there is
+//      a link failure", given the lowest local preference and exported
+//      liberally so they can restore connectivity.
+// These builders make 2 and 3 runnable so the property tests can check the
+// convergence claims the MIRO proofs inherit.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "bgp/path_vector_engine.hpp"
+
+namespace miro::bgp {
+
+/// Guideline 2: peer routes share the customer preference band (ties broken
+/// by path length, then next-hop AS number). Gao-Rexford prove convergence
+/// still holds for this relaxation.
+PolicyHooks relaxed_peering_hooks(const AsGraph& graph);
+
+/// An undirected set of backup links.
+class BackupLinks {
+ public:
+  void add(NodeId a, NodeId b) { links_.insert(key(a, b)); }
+  bool contains(NodeId a, NodeId b) const {
+    return links_.find(key(a, b)) != links_.end();
+  }
+  /// Number of backup links a path crosses — Gao-Rexford's preference
+  /// level: routes with fewer backup links are always preferred.
+  std::size_t count_on_path(const std::vector<NodeId>& path) const;
+  std::size_t size() const { return links_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  std::set<std::uint64_t> links_;
+};
+
+/// Guideline 3: routes are ranked first by how many backup links they
+/// cross (fewer is better, zero = primary), then by the conventional
+/// class/length/ASN order; routes that cross a backup link are exported to
+/// every neighbor, so backup connectivity propagates where conventional
+/// export filtering would starve it. `backups` must outlive the hooks.
+PolicyHooks backup_link_hooks(const AsGraph& graph,
+                              const BackupLinks& backups);
+
+}  // namespace miro::bgp

@@ -1,0 +1,110 @@
+// Stable BGP route computation under the conventional Gao-Rexford policies.
+//
+// Under Guideline A (customer > peer > provider), an acyclic customer-
+// provider hierarchy, and the conventional export rules, the BGP system has a
+// unique stable state (Chapter 7, Theorem 1). This solver computes that state
+// for one destination directly, without simulating message exchange: routes
+// are finalized in globally non-decreasing preference order
+// (class rank, AS-path length, next-hop AS number), which is monotone along
+// every legal export step, so a Dijkstra-style greedy pass yields exactly the
+// stable routes. Sibling links are handled transparently (a route keeps the
+// class it had before the sibling chain). The asynchronous path-vector engine
+// cross-checks this solver in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace miro::bgp {
+
+/// The stable best route of every AS toward one destination.
+class RoutingTree {
+ public:
+  RoutingTree(const AsGraph& graph, NodeId destination);
+
+  NodeId destination() const { return destination_; }
+  bool reachable(NodeId node) const { return entries_[node].reachable; }
+  RouteClass route_class(NodeId node) const { return entries_[node].cls; }
+  /// Next AS on the best path; the destination's next hop is itself.
+  NodeId next_hop(NodeId node) const { return entries_[node].next_hop; }
+  std::size_t path_length(NodeId node) const { return entries_[node].length; }
+
+  /// Full best path [node, ..., destination]; empty when unreachable.
+  std::vector<NodeId> path_of(NodeId node) const;
+  /// Best route object; throws when unreachable.
+  Route route_of(NodeId node) const;
+  /// The neighbor of the destination through which `node`'s traffic enters
+  /// the destination (the "incoming link" of Section 5.4); kInvalidNode when
+  /// unreachable or when node == destination.
+  NodeId ingress_neighbor(NodeId node) const;
+
+  std::size_t reachable_count() const;
+
+ private:
+  friend class StableRouteSolver;
+  struct Entry {
+    NodeId next_hop = topo::kInvalidNode;
+    std::uint32_t length = 0;
+    RouteClass cls = RouteClass::Provider;
+    bool reachable = false;
+  };
+  const AsGraph* graph_;
+  NodeId destination_;
+  std::vector<Entry> entries_;
+};
+
+/// Overrides one AS's route selection: the AS must route via
+/// `forced_next_hop` (the alternate it negotiated), and every other AS
+/// re-selects independently. Used by the "independent_selection" model of
+/// Section 5.4.
+struct PinnedRoute {
+  NodeId node = topo::kInvalidNode;
+  NodeId forced_next_hop = topo::kInvalidNode;
+};
+
+/// AS-path prepending at the origin: the destination pads its announcement
+/// toward `neighbor` with `extra` copies of its own AS number, the blunt
+/// instrument multi-homed ASes use today to discourage one incoming link
+/// (Section 1.2's footnote: such methods "may be easily nullified by other
+/// ASes' local policy" — local preference is compared before path length).
+struct OriginPrepend {
+  NodeId neighbor = topo::kInvalidNode;
+  std::uint32_t extra = 0;
+};
+
+class StableRouteSolver {
+ public:
+  explicit StableRouteSolver(const AsGraph& graph) : graph_(&graph) {}
+
+  /// Stable routes of every AS toward `destination`.
+  RoutingTree solve(NodeId destination) const;
+
+  /// Stable routes with one AS's selection pinned. If the pin is infeasible
+  /// (the forced neighbor never offers a route) the pinned AS ends up
+  /// unreachable.
+  RoutingTree solve_pinned(NodeId destination, const PinnedRoute& pin) const;
+
+  /// Stable routes when the destination prepends toward one neighbor. The
+  /// reported path lengths include the virtual prepended hops.
+  RoutingTree solve_prepended(NodeId destination,
+                              const OriginPrepend& prepend) const;
+
+  /// The candidate routes `node` learns from its neighbors under plain BGP in
+  /// the stable state: each neighbor's best route, where the neighbor's
+  /// conventional export policy allows it and the path is loop-free. This is
+  /// exactly the pool MIRO's responding ASes draw alternates from.
+  std::vector<Route> candidates_at(const RoutingTree& tree, NodeId node) const;
+
+  const AsGraph& graph() const { return *graph_; }
+
+ private:
+  RoutingTree run(NodeId destination, const PinnedRoute* pin,
+                  const OriginPrepend* prepend) const;
+
+  const AsGraph* graph_;
+};
+
+}  // namespace miro::bgp

@@ -1,0 +1,137 @@
+#include "bgp/router_level.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace miro::bgp {
+
+RouterLevelAs::RouterId RouterLevelAs::add_router(net::Ipv4Address loopback) {
+  routers_.push_back(RouterState{loopback, {}, {}, std::nullopt});
+  return static_cast<RouterId>(routers_.size() - 1);
+}
+
+void RouterLevelAs::add_internal_link(RouterId a, RouterId b, int igp_weight) {
+  require(a < routers_.size() && b < routers_.size(),
+          "RouterLevelAs: router id out of range");
+  require(a != b, "RouterLevelAs: self links are not allowed");
+  require(igp_weight > 0, "RouterLevelAs: IGP weight must be positive");
+  routers_[a].links.push_back({b, igp_weight});
+  routers_[b].links.push_back({a, igp_weight});
+}
+
+void RouterLevelAs::inject_ebgp_route(RouterId at, topo::AsNumber neighbor_as,
+                                      net::Ipv4Address peer_address,
+                                      std::vector<topo::AsNumber> as_path,
+                                      int local_pref, int med, Origin origin) {
+  require(at < routers_.size(), "RouterLevelAs: router id out of range");
+  require(!as_path.empty() && as_path.front() == neighbor_as,
+          "RouterLevelAs: AS path must start with the neighbor AS");
+  RouterRoute route;
+  route.as_path = std::move(as_path);
+  route.local_pref = local_pref;
+  route.origin = origin;
+  route.med = med;
+  route.learned_via_ebgp = true;
+  route.igp_distance_to_egress = 0;
+  route.advertising_router_id = at;
+  route.peer_address = peer_address;
+  route.egress_router = at;
+  routers_[at].ebgp_routes.push_back(std::move(route));
+}
+
+int RouterLevelAs::igp_distance(RouterId from, RouterId to) const {
+  require(from < routers_.size() && to < routers_.size(),
+          "RouterLevelAs: router id out of range");
+  if (from == to) return 0;
+  std::vector<int> distance(routers_.size(), kUnreachable);
+  using Item = std::pair<int, RouterId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  distance[from] = 0;
+  queue.push({0, from});
+  while (!queue.empty()) {
+    auto [d, r] = queue.top();
+    queue.pop();
+    if (d > distance[r]) continue;
+    if (r == to) return d;
+    for (const InternalLink& link : routers_[r].links) {
+      if (d + link.weight < distance[link.to]) {
+        distance[link.to] = d + link.weight;
+        queue.push({distance[link.to], link.to});
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+void RouterLevelAs::converge(std::size_t max_sweeps) {
+  // Precompute pairwise IGP distances once per convergence run.
+  const std::size_t n = routers_.size();
+  std::vector<std::vector<int>> dist(n);
+  for (RouterId r = 0; r < n; ++r) {
+    dist[r].resize(n);
+    for (RouterId s = 0; s < n; ++s) dist[r][s] = igp_distance(r, s);
+  }
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (RouterId r = 0; r < n; ++r) {
+      // Candidates: own eBGP routes plus iBGP copies of other routers'
+      // current selections (re-advertising iBGP-learned routes over iBGP is
+      // not allowed in a full mesh, which is what "other routers' selected
+      // eBGP routes" models).
+      std::vector<RouterRoute> candidates = routers_[r].ebgp_routes;
+      for (RouterId s = 0; s < n; ++s) {
+        if (s == r || !routers_[s].selection) continue;
+        const RouterRoute& sel = *routers_[s].selection;
+        if (!sel.learned_via_ebgp) continue;  // no iBGP re-advertisement
+        RouterRoute copy = sel;
+        copy.learned_via_ebgp = false;
+        copy.igp_distance_to_egress = dist[r][sel.egress_router];
+        if (copy.igp_distance_to_egress >= kUnreachable) continue;
+        candidates.push_back(std::move(copy));
+      }
+      std::optional<RouterRoute> next;
+      if (!candidates.empty())
+        next = candidates[decide(candidates).best_index];
+      const bool same =
+          next.has_value() == routers_[r].selection.has_value() &&
+          (!next || (next->as_path == routers_[r].selection->as_path &&
+                     next->egress_router ==
+                         routers_[r].selection->egress_router));
+      if (!same) {
+        routers_[r].selection = std::move(next);
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+  throw Error("RouterLevelAs::converge: no fixed point within sweep budget");
+}
+
+std::optional<RouterRoute> RouterLevelAs::selected(RouterId r) const {
+  require(r < routers_.size(), "RouterLevelAs: router id out of range");
+  return routers_[r].selection;
+}
+
+std::vector<RouterRoute> RouterLevelAs::all_valid_paths() const {
+  std::vector<RouterRoute> paths;
+  for (const RouterState& router : routers_)
+    paths.insert(paths.end(), router.ebgp_routes.begin(),
+                 router.ebgp_routes.end());
+  std::sort(paths.begin(), paths.end(),
+            [](const RouterRoute& a, const RouterRoute& b) {
+              if (a.as_path != b.as_path) return a.as_path < b.as_path;
+              return a.egress_router < b.egress_router;
+            });
+  // Distinct AS paths only — two routers may have learned the same path.
+  paths.erase(std::unique(paths.begin(), paths.end(),
+                          [](const RouterRoute& a, const RouterRoute& b) {
+                            return a.as_path == b.as_path;
+                          }),
+              paths.end());
+  return paths;
+}
+
+}  // namespace miro::bgp

@@ -1,0 +1,79 @@
+// Intra-AS routing architecture (Section 4.1, Figure 4.1).
+//
+// A large AS has multiple routers: edge routers hold eBGP sessions to
+// neighboring ASes and redistribute what they learn over an iBGP full mesh.
+// Each router runs the Table 2.1 decision process independently, so two
+// routers can stick to *different* AS paths for the same prefix (the R2/R3
+// situation of Figure 4.1). MIRO exploits this: an AS may advertise any valid
+// AS path available at any of its edge routers, not just the per-router best.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/decision_process.hpp"
+
+namespace miro::bgp {
+
+/// One AS's internal routing state for a single destination prefix.
+class RouterLevelAs {
+ public:
+  using RouterId = std::uint32_t;
+  static constexpr int kUnreachable = std::numeric_limits<int>::max() / 4;
+
+  /// Adds a router; `router_id` doubles as the BGP router id (step 7).
+  RouterId add_router(net::Ipv4Address loopback);
+
+  /// Adds a bidirectional internal link with an IGP weight.
+  void add_internal_link(RouterId a, RouterId b, int igp_weight);
+
+  /// Registers an eBGP-learned route at edge router `at`. `peer_address` is
+  /// the remote interface (step 8); med/origin/local_pref as received and
+  /// import-processed.
+  void inject_ebgp_route(RouterId at, topo::AsNumber neighbor_as,
+                         net::Ipv4Address peer_address,
+                         std::vector<topo::AsNumber> as_path, int local_pref,
+                         int med = 0, Origin origin = Origin::Igp);
+
+  /// Runs iBGP exchange to a fixed point: every router repeatedly re-runs the
+  /// decision process over its eBGP-learned routes plus every other router's
+  /// currently selected route (full mesh), until no selection changes.
+  /// Throws after `max_sweeps` sweeps (iBGP with full mesh and deterministic
+  /// MED always converges in practice; the bound is a safety net).
+  void converge(std::size_t max_sweeps = 64);
+
+  /// The route router `r` selected; nullopt when it has none.
+  /// Valid after converge().
+  std::optional<RouterRoute> selected(RouterId r) const;
+
+  /// Every distinct valid AS path known anywhere in the AS — the pool MIRO
+  /// may advertise ("an AS is allowed to advertise any valid AS paths on any
+  /// of its edge routers", Section 4.1). Sorted deterministically.
+  std::vector<RouterRoute> all_valid_paths() const;
+
+  /// Shortest IGP distance between two routers (Dijkstra over link weights);
+  /// kUnreachable when disconnected.
+  int igp_distance(RouterId from, RouterId to) const;
+
+  std::size_t router_count() const { return routers_.size(); }
+  net::Ipv4Address loopback(RouterId r) const { return routers_[r].loopback; }
+
+ private:
+  struct InternalLink {
+    RouterId to;
+    int weight;
+  };
+  struct RouterState {
+    net::Ipv4Address loopback;
+    std::vector<InternalLink> links;
+    std::vector<RouterRoute> ebgp_routes;     // learned on this router
+    std::optional<RouterRoute> selection;     // current best
+  };
+
+  std::vector<RouterState> routers_;
+};
+
+}  // namespace miro::bgp

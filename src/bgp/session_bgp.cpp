@@ -1,0 +1,152 @@
+#include "bgp/session_bgp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace miro::bgp {
+
+SessionedBgpNetwork::SessionedBgpNetwork(const AsGraph& graph,
+                                         NodeId destination,
+                                         sim::Scheduler& scheduler,
+                                         sim::Time link_delay)
+    : graph_(&graph), destination_(destination), scheduler_(&scheduler),
+      link_delay_(link_delay), speakers_(graph.node_count()) {
+  require(destination < graph.node_count(),
+          "SessionedBgpNetwork: destination out of range");
+}
+
+const Route& SessionedBgpNetwork::best(NodeId node) const {
+  require(speakers_[node].best.has_value(),
+          "SessionedBgpNetwork::best: no route");
+  return *speakers_[node].best;
+}
+
+std::vector<NodeId> SessionedBgpNetwork::path_of(NodeId node) const {
+  return speakers_[node].best ? speakers_[node].best->path
+                              : std::vector<NodeId>{};
+}
+
+void SessionedBgpNetwork::start() {
+  require(!started_, "SessionedBgpNetwork::start: already started");
+  started_ = true;
+  Speaker& origin = speakers_[destination_];
+  origin.best = Route{{destination_}, RouteClass::Self};
+  reselect(destination_);  // announces to every neighbor
+}
+
+void SessionedBgpNetwork::send(NodeId from, NodeId to,
+                               std::vector<NodeId> path_at_sender) {
+  if (path_at_sender.empty()) {
+    ++stats_.withdrawals_sent;
+  } else {
+    ++stats_.updates_sent;
+  }
+  scheduler_->after(link_delay_, [this, from, to,
+                                  path = std::move(path_at_sender)]() {
+    // A message in flight across a link that failed meanwhile is lost; the
+    // session-down handling already flushed the receiver's state.
+    if (!link_up(from, to)) return;
+    receive(to, from, path);
+  });
+}
+
+void SessionedBgpNetwork::receive(NodeId node, NodeId from,
+                                  std::vector<NodeId> path_at_sender) {
+  Speaker& speaker = speakers_[node];
+  if (path_at_sender.empty()) {
+    speaker.adj_in.erase(from);
+  } else {
+    speaker.adj_in[from] = std::move(path_at_sender);
+  }
+  reselect(node);
+}
+
+void SessionedBgpNetwork::reselect(NodeId node) {
+  Speaker& speaker = speakers_[node];
+  ++stats_.selections;
+
+  std::optional<Route> next;
+  if (node == destination_) {
+    next = Route{{destination_}, RouteClass::Self};
+  } else {
+    for (const auto& [neighbor, path_at_sender] : speaker.adj_in) {
+      if (!link_up(node, neighbor)) continue;
+      // Implicit import policy: reject looping paths.
+      if (std::find(path_at_sender.begin(), path_at_sender.end(), node) !=
+          path_at_sender.end())
+        continue;
+      Route candidate;
+      candidate.path.reserve(path_at_sender.size() + 1);
+      candidate.path.push_back(node);
+      candidate.path.insert(candidate.path.end(), path_at_sender.begin(),
+                            path_at_sender.end());
+      // Classify against the sender's class, reconstructed from its path:
+      // the sender's own first link decides, walked past siblings.
+      RouteClass class_at_sender = RouteClass::Self;
+      for (std::size_t i = 0; i + 1 < path_at_sender.size(); ++i) {
+        const Relationship rel =
+            graph_->relationship(path_at_sender[i], path_at_sender[i + 1]);
+        if (rel == topo::Relationship::Sibling) continue;
+        class_at_sender = classify(rel, RouteClass::Self);
+        break;
+      }
+      if (class_at_sender == RouteClass::Self && path_at_sender.size() > 1)
+        class_at_sender = RouteClass::Customer;  // all-sibling chain
+      candidate.route_class =
+          classify(graph_->relationship(node, candidate.path[1]),
+                   class_at_sender);
+      if (!next || prefer(candidate, *next, *graph_))
+        next = std::move(candidate);
+    }
+  }
+
+  const bool changed = next.has_value() != speaker.best.has_value() ||
+                       (next && next->path != speaker.best->path);
+  if (changed) {
+    speaker.best = std::move(next);
+    if (observer_) observer_(node, speaker.best);
+  }
+
+  // Export processing: advertise on change or on a fresh session; withdraw
+  // when the route became unexportable or disappeared. Unchanged routes are
+  // not re-sent ("updates are sent only when the route changes").
+  for (const topo::Neighbor& n : graph_->neighbors(node)) {
+    if (!link_up(node, n.node)) continue;
+    const bool exportable =
+        speaker.best.has_value() &&
+        conventional_export_allows(speaker.best->route_class, n.rel);
+    if (exportable) {
+      const bool fresh_session =
+          speaker.advertised_to.insert(n.node).second;
+      if (changed || fresh_session) send(node, n.node, speaker.best->path);
+    } else if (speaker.advertised_to.erase(n.node) > 0) {
+      send(node, n.node, {});  // withdraw
+    }
+  }
+}
+
+void SessionedBgpNetwork::fail_link(NodeId a, NodeId b) {
+  require(graph_->has_edge(a, b), "fail_link: no such link");
+  if (!failed_links_.insert(link_key(a, b)).second) return;  // already down
+  // Session down: both sides flush what they learned over it and the
+  // Adj-RIB-Out presence bit, then re-run selection (which propagates any
+  // change as updates/withdrawals to the remaining neighbors).
+  for (auto [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
+    speakers_[self].adj_in.erase(other);
+    speakers_[self].advertised_to.erase(other);
+    // Process asynchronously so failure handling interleaves with traffic.
+    scheduler_->after(0, [this, self = self]() { reselect(self); });
+  }
+}
+
+void SessionedBgpNetwork::restore_link(NodeId a, NodeId b) {
+  if (failed_links_.erase(link_key(a, b)) == 0) return;  // was not down
+  // Fresh session: both ends retransmit their current table (here: the one
+  // prefix) if export policy allows.
+  for (auto [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
+    scheduler_->after(0, [this, self = self]() { reselect(self); });
+  }
+}
+
+}  // namespace miro::bgp

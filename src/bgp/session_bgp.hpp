@@ -1,0 +1,103 @@
+// Message-level BGP over the discrete-event simulator.
+//
+// "The BGP is an incremental protocol. When a router first connects to a
+// neighbor, the entire BGP routing table is transmitted. After that route
+// updates and withdrawals are sent only when the route changes." (§2.2.2)
+//
+// Each AS is a speaker with a per-neighbor Adj-RIB-In for one destination
+// prefix. UPDATE and WITHDRAW messages travel over per-link sessions with
+// propagation delay; a speaker re-selects when a message arrives and sends
+// incremental updates only to neighbors whose view changed. Links can fail
+// and recover at runtime — the machinery MIRO's soft-state tunnel management
+// reacts to ("The ASes can observe these changes in the BGP update messages
+// or session failures", §4.3). The converged result provably equals
+// StableRouteSolver's under conventional policies (tested).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::bgp {
+
+class SessionedBgpNetwork {
+ public:
+  /// Builds the speakers; nothing is announced until start().
+  SessionedBgpNetwork(const AsGraph& graph, NodeId destination,
+                      sim::Scheduler& scheduler, sim::Time link_delay = 10);
+
+  /// The origin announces its prefix to all neighbors.
+  void start();
+
+  /// Brings a session down: both ends flush what they learned over it and
+  /// withdraw/re-advertise as needed. Idempotent.
+  void fail_link(NodeId a, NodeId b);
+  /// Restores a failed session; both ends re-advertise their current best
+  /// (the "entire table" retransmission of a fresh session).
+  void restore_link(NodeId a, NodeId b);
+
+  bool has_route(NodeId node) const { return speakers_[node].best.has_value(); }
+  const Route& best(NodeId node) const;
+  /// Full best path [node..destination]; empty when unreachable.
+  std::vector<NodeId> path_of(NodeId node) const;
+
+  /// Observer invoked (synchronously, during event processing) whenever a
+  /// speaker's best route changes. Used by MIRO's tunnel monitor.
+  using RouteChangeObserver =
+      std::function<void(NodeId node, const std::optional<Route>& best)>;
+  void set_observer(RouteChangeObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  struct Stats {
+    std::size_t updates_sent = 0;
+    std::size_t withdrawals_sent = 0;
+    std::size_t selections = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  NodeId destination() const { return destination_; }
+  const AsGraph& graph() const { return *graph_; }
+
+ private:
+  struct Speaker {
+    /// Adj-RIB-In: the route each neighbor last advertised (as a path at
+    /// that neighbor, before local prepend/classification).
+    std::unordered_map<NodeId, std::vector<NodeId>> adj_in;
+    /// Adj-RIB-Out presence: which neighbors currently hold our route.
+    std::set<NodeId> advertised_to;
+    std::optional<Route> best;
+  };
+
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  bool link_up(NodeId a, NodeId b) const {
+    return failed_links_.find(link_key(a, b)) == failed_links_.end();
+  }
+
+  /// Delivers an UPDATE (path non-empty) or WITHDRAW (path empty) from
+  /// `from` to `to` after the link delay.
+  void send(NodeId from, NodeId to, std::vector<NodeId> path_at_sender);
+  void receive(NodeId node, NodeId from, std::vector<NodeId> path_at_sender);
+  /// Re-selects at `node`; on change, propagates updates/withdrawals.
+  void reselect(NodeId node);
+
+  const AsGraph* graph_;
+  NodeId destination_;
+  sim::Scheduler* scheduler_;
+  sim::Time link_delay_;
+  std::vector<Speaker> speakers_;
+  std::set<std::uint64_t> failed_links_;
+  RouteChangeObserver observer_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace miro::bgp

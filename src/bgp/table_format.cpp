@@ -1,0 +1,57 @@
+#include "bgp/table_format.hpp"
+
+#include <ostream>
+
+#include "bgp/route_solver.hpp"
+#include "common/table.hpp"
+
+namespace miro::bgp {
+
+void print_bgp_table(const std::vector<BgpTableEntry>& entries,
+                     std::ostream& out) {
+  TextTable table({"", "IP Prefix", "Next Hop", "AS Path"});
+  std::string last_prefix;
+  for (const BgpTableEntry& entry : entries) {
+    std::string prefix_text = entry.prefix.to_string();
+    const bool repeat = prefix_text == last_prefix;
+    last_prefix = prefix_text;
+    std::string path_text;
+    for (std::size_t i = 0; i < entry.as_path.size(); ++i) {
+      if (i > 0) path_text += ' ';
+      path_text += std::to_string(entry.as_path[i]);
+    }
+    table.add_row({entry.best ? "*>" : "*", repeat ? "" : prefix_text,
+                   entry.next_hop.to_string(), path_text});
+  }
+  table.print(out);
+}
+
+std::vector<BgpTableEntry> bgp_table_for(const StableRouteSolver& solver,
+                                         const RoutingTree& tree,
+                                         topo::NodeId node) {
+  const topo::AsGraph& graph = solver.graph();
+  const topo::AsNumber dest_asn = graph.as_number(tree.destination());
+  const net::Prefix prefix(
+      net::Ipv4Address(static_cast<std::uint32_t>(dest_asn) << 16), 16);
+
+  std::vector<NodeId> best_path;
+  if (tree.reachable(node)) best_path = tree.path_of(node);
+
+  std::vector<BgpTableEntry> entries;
+  for (const Route& candidate : solver.candidates_at(tree, node)) {
+    BgpTableEntry entry;
+    entry.prefix = prefix;
+    // Next hop: the neighbor's interface, synthesized as host .0.2 of its
+    // block (the data plane gives hosts .0.1).
+    const topo::AsNumber next_asn = graph.as_number(candidate.next_hop());
+    entry.next_hop = net::Ipv4Address(
+        (static_cast<std::uint32_t>(next_asn) << 16) | 2);
+    for (std::size_t i = 1; i < candidate.path.size(); ++i)
+      entry.as_path.push_back(graph.as_number(candidate.path[i]));
+    entry.best = candidate.path == best_path;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace miro::bgp

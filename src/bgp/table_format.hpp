@@ -1,0 +1,43 @@
+// BGP-table rendering in the classic "show ip bgp" style of Table 1.1:
+//
+//   |    | IP Prefix       | Next Hop       | AS Path             |
+//   | *  | 128.112.0.0/16  | 198.32.8.196   | 11537 10466 88      |
+//   | *> |                 | 205.189.32.44  | 6509 11537 10466 88 |
+//
+// Candidate entries are flagged '*', the selected best path '*>'. Used by
+// the examples and handy when debugging policies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "net/address.hpp"
+
+namespace miro::bgp {
+
+/// One displayable table entry.
+struct BgpTableEntry {
+  net::Prefix prefix;
+  net::Ipv4Address next_hop;
+  std::vector<topo::AsNumber> as_path;  ///< received AS_PATH (no local AS)
+  bool best = false;
+};
+
+/// Renders entries grouped by prefix; within a group the prefix cell is
+/// printed only on the first row, as routers do.
+void print_bgp_table(const std::vector<BgpTableEntry>& entries,
+                     std::ostream& out);
+
+/// Builds the displayable entries for `node`'s candidate routes toward one
+/// destination under the stable state: one row per candidate, the currently
+/// selected route flagged best. `prefix` and the per-AS next-hop addressing
+/// follow the synthetic scheme of AsLevelDataPlane (ASN<<16 /16, host .0.1).
+class RoutingTree;
+class StableRouteSolver;
+std::vector<BgpTableEntry> bgp_table_for(const StableRouteSolver& solver,
+                                         const RoutingTree& tree,
+                                         topo::NodeId node);
+
+}  // namespace miro::bgp

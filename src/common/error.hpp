@@ -1,0 +1,26 @@
+// Error-handling helpers shared across the MIRO libraries.
+//
+// The library reports programming errors (violated preconditions) with
+// exceptions so that tests can assert on them, and reports expected runtime
+// failures (e.g. parse errors) through the same exception type carrying a
+// descriptive message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace miro {
+
+/// Exception thrown for violated preconditions and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws miro::Error with `message` when `condition` is false.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace miro

@@ -1,0 +1,34 @@
+// Hashing helpers: FNV-1a over bytes and a hash_combine for composite keys.
+// Used by flow-hash traffic splitting (Section 3.5) and by the convergence
+// lab's state fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace miro {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over an arbitrary byte range, chainable via `seed`.
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Mixes a 64-bit value into a running hash (boost-style combine with a
+/// stronger mixer).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace miro

@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace miro {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used only to expand the user seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  require(bound > 0, "Rng::next_below: bound must be positive");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: empty range");
+  // Span arithmetic in uint64: hi - lo can exceed INT64_MAX.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  const std::uint64_t offset = span == 0 ? next() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
+}
+
+double Rng::uniform() {
+  // 53 random bits mapped into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  require(k <= n, "Rng::sample_indices: k must not exceed n");
+  // Floyd's algorithm: k iterations, set membership via sorted vector would
+  // be O(k^2); use a hash-free approach with a vector<bool> when dense.
+  std::vector<std::size_t> result;
+  result.reserve(k);
+  if (k * 4 >= n) {
+    // Dense: shuffle a full index vector prefix.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::vector<bool> seen(n, false);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(next_below(j + 1));
+    if (seen[t]) t = j;
+    seen[t] = true;
+    result.push_back(t);
+  }
+  return result;
+}
+
+std::uint64_t Rng::power_law(double alpha, std::uint64_t max) {
+  require(alpha > 1.0, "Rng::power_law: alpha must exceed 1");
+  require(max >= 1, "Rng::power_law: max must be at least 1");
+  // Inverse-CDF sampling of a continuous Pareto, truncated and floored.
+  for (;;) {
+    double u = uniform();
+    double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+    if (x <= static_cast<double>(max)) return static_cast<std::uint64_t>(x);
+  }
+}
+
+}  // namespace miro

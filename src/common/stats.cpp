@@ -1,0 +1,102 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace miro {
+
+void Summary::add_count(double value, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add(value);
+}
+
+void Summary::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  require(!values_.empty(), "Summary::mean on empty sample set");
+  double total = 0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  require(!values_.empty(), "Summary::min on empty sample set");
+  sort_if_needed();
+  return values_.front();
+}
+
+double Summary::max() const {
+  require(!values_.empty(), "Summary::max on empty sample set");
+  sort_if_needed();
+  return values_.back();
+}
+
+double Summary::percentile(double p) const {
+  require(!values_.empty(), "Summary::percentile on empty sample set");
+  require(p >= 0 && p <= 100, "Summary::percentile: p outside [0,100]");
+  sort_if_needed();
+  if (values_.size() == 1) return values_.front();
+  // Nearest-rank (ceil) definition.
+  const double rank = p / 100.0 * static_cast<double>(values_.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index == 0) index = 1;
+  if (index > values_.size()) index = values_.size();
+  return values_[index - 1];
+}
+
+double Summary::fraction_at_most(double threshold) const {
+  require(!values_.empty(), "Summary::fraction_at_most on empty sample set");
+  sort_if_needed();
+  auto it = std::upper_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Summary::fraction_at_least(double threshold) const {
+  require(!values_.empty(), "Summary::fraction_at_least on empty sample set");
+  sort_if_needed();
+  auto it = std::lower_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(values_.end() - it) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::vector<CdfPoint> points;
+  if (samples.empty()) return points;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const bool last_of_value =
+        i + 1 == samples.size() || samples[i + 1] != samples[i];
+    if (last_of_value) {
+      points.push_back({samples[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return points;
+}
+
+std::vector<LogHistogramBucket> log2_histogram(
+    const std::vector<double>& samples) {
+  std::vector<LogHistogramBucket> buckets;
+  if (samples.empty()) return buckets;
+  double max_value = *std::max_element(samples.begin(), samples.end());
+  double lower = 1;
+  while (lower <= max_value) {
+    buckets.push_back({lower, lower * 2, 0});
+    lower *= 2;
+  }
+  for (double s : samples) {
+    if (s < 1) continue;
+    auto bucket_index = static_cast<std::size_t>(std::floor(std::log2(s)));
+    if (bucket_index < buckets.size()) ++buckets[bucket_index].count;
+  }
+  return buckets;
+}
+
+}  // namespace miro

@@ -1,0 +1,57 @@
+// Small descriptive-statistics helpers used by the evaluation harness to
+// summarize per-pair/per-tuple measurements into the percentile rows and CDF
+// series that the paper's figures plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace miro {
+
+/// Accumulates scalar samples and answers percentile/mean queries.
+/// Quantiles use the nearest-rank definition so results are exact for the
+/// deterministic sample sets produced by the experiments.
+class Summary {
+ public:
+  void add(double value) { values_.push_back(value); }
+  void add_count(double value, std::size_t count);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile; `p` in [0, 100].
+  double percentile(double p) const;
+  /// Fraction of samples <= threshold.
+  double fraction_at_most(double threshold) const;
+  /// Fraction of samples >= threshold.
+  double fraction_at_least(double threshold) const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// One (x, y) point of an empirical CDF.
+struct CdfPoint {
+  double value = 0;
+  double cumulative_fraction = 0;
+};
+
+/// Empirical CDF of `samples` evaluated at each distinct sample value.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+/// Histogram with logarithmic bucket boundaries 1,2,4,8,... — used for the
+/// degree-distribution figure.
+struct LogHistogramBucket {
+  double lower = 0;   // inclusive
+  double upper = 0;   // exclusive
+  std::size_t count = 0;
+};
+std::vector<LogHistogramBucket> log2_histogram(const std::vector<double>& samples);
+
+}  // namespace miro

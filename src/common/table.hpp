@@ -1,0 +1,39 @@
+// Fixed-width text table and CSV rendering.
+//
+// Every bench binary prints the table or figure series it regenerates through
+// this writer so that paper-vs-measured comparisons in EXPERIMENTS.md line up
+// visually with the dissertation's tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace miro {
+
+/// A simple column-aligned table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders with column alignment and a separator rule under the header.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace miro

@@ -1,0 +1,48 @@
+// Disjoint-set forest with path halving and union by size.
+//
+// Used to contract sibling-connected AS groups before the stable-route solve
+// (the dissertation treats chains of sibling links as transparent when
+// classifying routes, Section 2.2.1).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace miro {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace miro

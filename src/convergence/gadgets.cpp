@@ -1,0 +1,141 @@
+#include "convergence/gadgets.hpp"
+
+namespace miro::conv {
+
+MiroGadget make_figure_7_1(Guideline guideline) {
+  MiroGadget gadget;
+  // AS numbers chosen to read like the figure: D=40, A=10, B=20, C=30.
+  const NodeId a = gadget.graph.add_as(10);
+  const NodeId b = gadget.graph.add_as(20);
+  const NodeId c = gadget.graph.add_as(30);
+  const NodeId d = gadget.graph.add_as(40);
+  gadget.nodes = {{"A", a}, {"B", b}, {"C", c}, {"D", d}};
+  // A, B, C are customers of D; they peer with each other.
+  gadget.graph.add_customer_provider(d, a);
+  gadget.graph.add_customer_provider(d, b);
+  gadget.graph.add_customer_provider(d, c);
+  gadget.graph.add_peer(a, b);
+  gadget.graph.add_peer(b, c);
+  gadget.graph.add_peer(c, a);
+
+  gadget.destinations = {d};
+  gadget.options.guideline = guideline;
+  // Each AS wants exactly the two-hop tunnel through the next peer.
+  gadget.options.tunnels = {
+      {a, b, d, Path{a, b, d}},
+      {b, c, d, Path{b, c, d}},
+      {c, a, d, Path{c, a, d}},
+  };
+  if (guideline == Guideline::D) {
+    gadget.options.partial_order = [](NodeId, NodeId first_downstream,
+                                      NodeId destination) {
+      return first_downstream < destination;
+    };
+  }
+  return gadget;
+}
+
+MiroGadget make_figure_7_2(Guideline guideline) {
+  MiroGadget gadget;
+  const NodeId a = gadget.graph.add_as(10);
+  const NodeId b = gadget.graph.add_as(20);
+  const NodeId c = gadget.graph.add_as(30);
+  const NodeId d = gadget.graph.add_as(40);
+  gadget.nodes = {{"A", a}, {"B", b}, {"C", c}, {"D", d}};
+  // D is a customer of A, B, and C; A, B, C form a peering triangle.
+  gadget.graph.add_customer_provider(a, d);
+  gadget.graph.add_customer_provider(b, d);
+  gadget.graph.add_customer_provider(c, d);
+  gadget.graph.add_peer(a, b);
+  gadget.graph.add_peer(b, c);
+  gadget.graph.add_peer(c, a);
+
+  gadget.destinations = {a, b, c};
+  gadget.options.guideline = guideline;
+  // D always pays less through a tunnel: D(BA) to reach A, D(CB) to reach B,
+  // D(AC) to reach C.
+  gadget.options.tunnels = {
+      {d, b, a, Path{d, b, a}},
+      {d, c, b, Path{d, c, b}},
+      {d, a, c, Path{d, a, c}},
+  };
+  if (guideline == Guideline::D) {
+    gadget.options.partial_order = [](NodeId, NodeId first_downstream,
+                                      NodeId destination) {
+      return first_downstream < destination;
+    };
+  }
+  return gadget;
+}
+
+namespace {
+
+/// Shared scaffold: `spokes` nodes around a destination hub, every spoke
+/// linked to the hub and to the next spoke (peer links everywhere; the hooks
+/// override all policy anyway).
+BgpGadget make_ring(std::size_t spokes) {
+  BgpGadget gadget;
+  const NodeId hub = gadget.graph.add_as(100);
+  gadget.nodes.emplace("0", hub);
+  std::vector<NodeId> ring;
+  for (std::size_t i = 0; i < spokes; ++i) {
+    NodeId node =
+        gadget.graph.add_as(static_cast<topo::AsNumber>(101 + i));
+    gadget.graph.add_peer(node, hub);
+    gadget.nodes.emplace(std::string(1, static_cast<char>('1' + i)), node);
+    ring.push_back(node);
+  }
+  // Ring links (a 2-ring is a single link, not a parallel pair).
+  const std::size_t ring_links = spokes == 2 ? 1 : spokes;
+  for (std::size_t i = 0; i < ring_links; ++i)
+    gadget.graph.add_peer(ring[i], ring[(i + 1) % spokes]);
+  gadget.destination = hub;
+  return gadget;
+}
+
+/// Preference: each spoke ranks the path through its clockwise ring
+/// neighbor above the direct path; every other path is ranked worst.
+bgp::PolicyHooks ring_hooks(const BgpGadget& gadget, std::size_t spokes) {
+  const topo::AsGraph* graph = &gadget.graph;
+  const NodeId hub = gadget.destination;
+  auto rank_of = [graph, hub, spokes](const bgp::Route& route) {
+    const NodeId owner = route.owner();
+    if (owner == hub) return 0;
+    // owner is spoke index (owner - 1) since the hub is node 0.
+    const NodeId next_spoke =
+        static_cast<NodeId>(1 + (owner - 1 + 1) % spokes);
+    if (route.path.size() == 3 && route.path[1] == next_spoke) return 1;
+    if (route.path.size() == 2) return 2;  // direct
+    return 3;
+  };
+  bgp::PolicyHooks hooks;
+  hooks.exports = [](NodeId, const bgp::Route&, NodeId) { return true; };
+  // Only the direct path and the path through the clockwise neighbor are
+  // permitted (the SPP path sets of the original gadgets).
+  hooks.imports = [rank_of](const bgp::Route& candidate) {
+    return rank_of(candidate) < 3;
+  };
+  hooks.prefers = [rank_of](const bgp::Route& a, const bgp::Route& b) {
+    const int ra = rank_of(a);
+    const int rb = rank_of(b);
+    if (ra != rb) return ra < rb;
+    return a.path < b.path;
+  };
+  return hooks;
+}
+
+}  // namespace
+
+BgpGadget make_disagree() {
+  BgpGadget gadget = make_ring(2);
+  gadget.hooks = ring_hooks(gadget, 2);
+  return gadget;
+}
+
+BgpGadget make_bad_gadget() {
+  BgpGadget gadget = make_ring(3);
+  gadget.hooks = ring_hooks(gadget, 3);
+  return gadget;
+}
+
+}  // namespace miro::conv

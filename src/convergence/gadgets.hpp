@@ -1,0 +1,65 @@
+// Canonical (non-)convergence instances.
+//
+//   figure_7_1 — ASes A, B, C are customers of D and peer with each other;
+//                each wants a tunnel through the next peer to reach D.
+//                Without guidelines the tunnels re-create Griffin's BAD
+//                GADGET and the system oscillates (Figure 7.1).
+//   figure_7_2 — D is a customer of providers A, B, C (a peering triangle);
+//                D wants tunnels D(BA), D(CB), D(AC), each cheaper than the
+//                direct route. Under the strict policy alone the tunnels
+//                invalidate each other cyclically and D oscillates
+//                (Figure 7.2); Guidelines D and E break the cycle.
+//   disagree / bad_gadget — the classic plain-BGP instances of Griffin et
+//                al., expressed as PathVectorEngine policy hooks, showing
+//                that BGP itself diverges when Guideline A is violated.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "bgp/path_vector_engine.hpp"
+#include "convergence/model.hpp"
+
+namespace miro::conv {
+
+/// A ready-to-run MIRO instance; node ids are looked up by the paper's
+/// letter names ("A", "B", ...).
+struct MiroGadget {
+  topo::AsGraph graph;
+  std::vector<NodeId> destinations;
+  ModelOptions options;
+  std::unordered_map<std::string, NodeId> nodes;
+
+  /// Builds a model over this gadget. The model keeps a reference to the
+  /// gadget's graph, so the gadget must outlive it — hence lvalue-only.
+  MiroConvergenceModel build() const& {
+    return MiroConvergenceModel(graph, destinations, options);
+  }
+  MiroConvergenceModel build() const&& = delete;
+};
+
+/// Figure 7.1 instance under the given guideline.
+MiroGadget make_figure_7_1(Guideline guideline);
+
+/// Figure 7.2 instance under the given guideline. For Guideline D the
+/// partial order is ≺ by ascending node id, which (being a strict total
+/// order) cannot admit the cyclic tunnel preferences.
+MiroGadget make_figure_7_2(Guideline guideline);
+
+/// A plain-BGP instance for PathVectorEngine with custom preferences.
+struct BgpGadget {
+  topo::AsGraph graph;
+  NodeId destination;
+  bgp::PolicyHooks hooks;
+  std::unordered_map<std::string, NodeId> nodes;
+};
+
+/// DISAGREE: two nodes each preferring the path through the other; has two
+/// stable states but oscillates under the synchronous schedule.
+BgpGadget make_disagree();
+
+/// BAD GADGET: three nodes each preferring the path through the next; has no
+/// stable state at all.
+BgpGadget make_bad_gadget();
+
+}  // namespace miro::conv

@@ -1,0 +1,66 @@
+#include "core/export_policy.hpp"
+
+namespace miro::core {
+
+const char* to_string(ExportPolicy policy) {
+  switch (policy) {
+    case ExportPolicy::Strict: return "strict";
+    case ExportPolicy::RespectExport: return "export";
+    case ExportPolicy::Flexible: return "flexible";
+  }
+  return "?";
+}
+
+const char* suffix(ExportPolicy policy) {
+  switch (policy) {
+    case ExportPolicy::Strict: return "/s";
+    case ExportPolicy::RespectExport: return "/e";
+    case ExportPolicy::Flexible: return "/a";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Strict compares local-preference bands; Self and Customer share the top
+/// band ("an AS originally advertising a customer route" — the origin's own
+/// prefix behaves like a customer route for this purpose).
+int pref_band(RouteClass cls) {
+  return cls == RouteClass::Self ? bgp::rank(RouteClass::Customer)
+                                 : bgp::rank(cls);
+}
+
+}  // namespace
+
+bool allows(ExportPolicy policy, RouteClass candidate_class,
+            std::optional<RouteClass> best_class,
+            Relationship requester_rel) {
+  switch (policy) {
+    case ExportPolicy::Flexible:
+      return true;
+    case ExportPolicy::RespectExport:
+      return bgp::conventional_export_allows(candidate_class, requester_rel);
+    case ExportPolicy::Strict:
+      if (!bgp::conventional_export_allows(candidate_class, requester_rel))
+        return false;
+      // Same local preference as the default route the responder is already
+      // advertising.
+      return !best_class || pref_band(candidate_class) == pref_band(*best_class);
+  }
+  return false;
+}
+
+std::vector<Route> filter_exports(ExportPolicy policy,
+                                  std::span<const Route> candidates,
+                                  std::optional<RouteClass> best_class,
+                                  Relationship requester_rel) {
+  std::vector<Route> out;
+  out.reserve(candidates.size());
+  for (const Route& candidate : candidates) {
+    if (allows(policy, candidate.route_class, best_class, requester_rel))
+      out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace miro::core

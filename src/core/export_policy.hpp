@@ -1,0 +1,60 @@
+// The three alternate-route export policies evaluated in Chapter 5.
+//
+// "To evaluate MIRO, this dissertation considers three variations on how a
+// responding AS decides which alternate routes to announce upon request"
+// (Section 5.1):
+//   Strict (/s)          — only alternates with the same local preference
+//                          (class) as the responder's current default route,
+//                          and the conventional export rules still apply;
+//   RespectExport (/e)   — every alternate the conventional export rules
+//                          allow toward the requester;
+//   Flexible (/a)        — every alternate, regardless of relationships.
+//
+// For a non-adjacent requester, export rules are evaluated against the
+// relationship with the neighbor through which the requester's traffic will
+// arrive (the previous hop on the requester's default path to the responder);
+// that is the link the offered route will actually be used over.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace miro::core {
+
+using bgp::Route;
+using bgp::RouteClass;
+using topo::Relationship;
+
+enum class ExportPolicy {
+  Strict,         ///< "/s"
+  RespectExport,  ///< "/e"
+  Flexible,       ///< "/a"
+};
+
+const char* to_string(ExportPolicy policy);
+/// The "/s" style suffix used in the paper's tables.
+const char* suffix(ExportPolicy policy);
+
+/// All three policies in paper order, for experiment sweeps.
+inline constexpr ExportPolicy kAllPolicies[] = {
+    ExportPolicy::Strict, ExportPolicy::RespectExport, ExportPolicy::Flexible};
+
+/// Does `policy` allow the responder to offer a candidate of class
+/// `candidate_class` to a requester whose traffic arrives over a link where
+/// the requester side is `requester_rel` to the responder, given the class of
+/// the responder's current best route (`best_class`, nullopt when the
+/// responder has no route — then Strict degenerates to RespectExport)?
+bool allows(ExportPolicy policy, RouteClass candidate_class,
+            std::optional<RouteClass> best_class, Relationship requester_rel);
+
+/// Filters a candidate set (as produced by StableRouteSolver::candidates_at)
+/// down to what the responder may announce. Preserves order.
+std::vector<Route> filter_exports(ExportPolicy policy,
+                                  std::span<const Route> candidates,
+                                  std::optional<RouteClass> best_class,
+                                  Relationship requester_rel);
+
+}  // namespace miro::core

@@ -1,0 +1,268 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace miro::core {
+
+MiroAgent::MiroAgent(NodeId self, RouteStore& store, Bus& bus,
+                     ResponderConfig responder, SoftStateConfig soft_state)
+    : self_(self), store_(&store), bus_(&bus),
+      responder_(std::move(responder)), soft_state_(soft_state) {
+  if (!responder_.accept_from)
+    responder_.accept_from = [](NodeId) { return true; };
+  if (!responder_.price) {
+    responder_.price = [](const Route& route) {
+      // Default pricing by class: the responder sells customer routes for
+      // less than peer routes, which cost less than provider routes
+      // (Section 6.2.2's example tariff).
+      switch (route.route_class) {
+        case RouteClass::Self: return 100;
+        case RouteClass::Customer: return 120;
+        case RouteClass::Peer: return 180;
+        case RouteClass::Provider: return 240;
+      }
+      return 240;
+    };
+  }
+  if (!responder_.accept_switch) {
+    responder_.accept_switch = [](const Route& current, const Route& alternate,
+                                  int compensation) {
+      // Same-class diversions are free; each class rank of downgrade costs
+      // 100 (the conventional local-preference band width).
+      const int gap = bgp::rank(alternate.route_class) -
+                      bgp::rank(current.route_class);
+      return gap <= 0 || compensation >= gap * 100;
+    };
+  }
+  bus_->attach(self_, [this](sim::EndpointId from, const Message& message) {
+    on_message(from, message);
+  });
+  schedule_sweep();
+}
+
+std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
+                                 NodeId destination,
+                                 std::optional<NodeId> avoid,
+                                 std::optional<int> max_cost,
+                                 CompletionCallback on_complete) {
+  require(static_cast<bool>(on_complete), "MiroAgent::request: null callback");
+  const std::uint64_t id = next_negotiation_id_++;
+  pending_.emplace(id, PendingRequest{responder, destination, avoid, max_cost,
+                                      std::move(on_complete), 0});
+  ++stats_.requests_sent;
+  bus_->send(self_, responder,
+             RouteRequest{id, destination, arrival_neighbor, avoid, max_cost});
+  // Fail locally if the responder stays silent (crashed peer, partitioned
+  // link): the callback must fire exactly once either way.
+  bus_->scheduler().after(soft_state_.negotiation_timeout, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // completed in time
+    NegotiationOutcome outcome;
+    outcome.responder = it->second.responder;
+    outcome.offers_received = it->second.offers_received;
+    auto callback = std::move(it->second.on_complete);
+    pending_.erase(it);
+    callback(outcome);
+  });
+  return id;
+}
+
+void MiroAgent::teardown(TunnelId tunnel_id) {
+  auto it = upstream_.find(tunnel_id);
+  if (it == upstream_.end()) return;
+  bus_->send(self_, it->second, TunnelTeardown{tunnel_id});
+  upstream_.erase(it);
+}
+
+void MiroAgent::on_message(sim::EndpointId from, const Message& message) {
+  std::visit([this, from](const auto& m) { handle(from, m); }, message);
+}
+
+void MiroAgent::handle(NodeId from, const RouteRequest& request) {
+  ++stats_.requests_received;
+  // Admission control: trust predicate and tunnel-count limit
+  // ("accept negotiation from any when tunnel_number < 1000").
+  if (!responder_.accept_from(from) ||
+      tunnels_.active_count() >= responder_.max_tunnels) {
+    ++stats_.requests_rejected;
+    bus_->send(self_, from, RouteOffers{request.negotiation_id, {}});
+    return;
+  }
+
+  const bgp::RoutingTree& tree = store_->tree(request.destination);
+  std::optional<RouteClass> best_class;
+  if (tree.reachable(self_)) best_class = tree.route_class(self_);
+
+  // The export relationship is judged on the link the traffic will arrive
+  // over. If the claimed arrival neighbor is not actually adjacent, fall
+  // back to treating the requester as a provider (most conservative).
+  const topo::AsGraph& graph = store_->graph();
+  topo::Relationship requester_rel = topo::Relationship::Provider;
+  if (request.arrival_neighbor != topo::kInvalidNode &&
+      graph.has_edge(self_, request.arrival_neighbor)) {
+    requester_rel = graph.relationship(self_, request.arrival_neighbor);
+  }
+
+  std::vector<Route> candidates =
+      store_->solver().candidates_at(tree, self_);
+  std::vector<Route> exportable = filter_exports(
+      responder_.policy, candidates, best_class, requester_rel);
+
+  RouteOffers reply{request.negotiation_id, {}};
+  for (Route& route : exportable) {
+    // Requester-supplied constraint filtering happens at the responder so
+    // useless candidates never cross the wire (Section 6.2.2).
+    if (request.avoid && route.traverses(*request.avoid)) continue;
+    const int cost = responder_.price(route);
+    if (request.max_cost && cost > *request.max_cost) continue;
+    reply.offers.push_back(RouteOffer{std::move(route), cost});
+  }
+  stats_.offers_sent += reply.offers.size();
+  bus_->send(self_, from, std::move(reply));
+}
+
+void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
+  auto it = pending_.find(offers.negotiation_id);
+  if (it == pending_.end() || it->second.responder != from) return;
+  PendingRequest& pending = it->second;
+  pending.offers_received = offers.offers.size();
+
+  // Pick the cheapest acceptable offer; break price ties with the standard
+  // route preference order.
+  const RouteOffer* best = nullptr;
+  for (const RouteOffer& offer : offers.offers) {
+    if (pending.avoid && offer.route.traverses(*pending.avoid)) continue;
+    if (pending.max_cost && offer.cost > *pending.max_cost) continue;
+    if (best == nullptr || offer.cost < best->cost ||
+        (offer.cost == best->cost &&
+         bgp::prefer(offer.route, best->route, store_->graph()))) {
+      best = &offer;
+    }
+  }
+  if (best == nullptr) {
+    NegotiationOutcome outcome;
+    outcome.responder = from;
+    outcome.offers_received = pending.offers_received;
+    auto callback = std::move(pending.on_complete);
+    pending_.erase(it);
+    callback(outcome);
+    return;
+  }
+  bus_->send(self_, from,
+             TunnelAccept{offers.negotiation_id, best->route, best->cost});
+}
+
+void MiroAgent::handle(NodeId from, const TunnelAccept& accept) {
+  // Downstream side: allocate the identifier and install state.
+  const TunnelId id = tunnels_.create(from, accept.chosen, accept.cost,
+                                      bus_->scheduler().now());
+  ++stats_.tunnels_established;
+  bus_->send(self_, from, TunnelConfirm{accept.negotiation_id, id});
+}
+
+void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
+  auto it = pending_.find(confirm.negotiation_id);
+  if (it == pending_.end() || it->second.responder != from) return;
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+
+  upstream_.emplace(confirm.tunnel_id, from);
+  schedule_keepalive(confirm.tunnel_id, from);
+
+  NegotiationOutcome outcome;
+  outcome.established = true;
+  outcome.responder = from;
+  outcome.tunnel_id = confirm.tunnel_id;
+  outcome.offers_received = pending.offers_received;
+  pending.on_complete(outcome);
+}
+
+void MiroAgent::handle(NodeId from, const TunnelKeepAlive& keepalive) {
+  (void)from;
+  tunnels_.heartbeat(keepalive.tunnel_id, bus_->scheduler().now());
+}
+
+void MiroAgent::handle(NodeId from, const TunnelTeardown& teardown) {
+  (void)from;
+  if (tunnels_.remove(teardown.tunnel_id)) ++stats_.tunnels_torn_down;
+}
+
+std::uint64_t MiroAgent::request_switch(NodeId responder, NodeId destination,
+                                        NodeId desired_next_hop,
+                                        int compensation,
+                                        SwitchCallback on_complete) {
+  require(static_cast<bool>(on_complete),
+          "MiroAgent::request_switch: null callback");
+  const std::uint64_t id = next_negotiation_id_++;
+  pending_switches_.emplace(id, std::move(on_complete));
+  ++stats_.requests_sent;
+  bus_->send(self_, responder,
+             SwitchRequest{id, destination, desired_next_hop, compensation});
+  bus_->scheduler().after(soft_state_.negotiation_timeout, [this, id]() {
+    auto it = pending_switches_.find(id);
+    if (it == pending_switches_.end()) return;
+    auto callback = std::move(it->second);
+    pending_switches_.erase(it);
+    callback(false, {});
+  });
+  return id;
+}
+
+void MiroAgent::handle(NodeId from, const SwitchRequest& request) {
+  ++stats_.requests_received;
+  SwitchResponse reply{request.negotiation_id, false, {}};
+  const bgp::RoutingTree& tree = store_->tree(request.destination);
+  if (responder_.accept_from(from) && tree.reachable(self_)) {
+    const Route current = tree.route_of(self_);
+    // Find the alternate with the requested first hop among this AS's
+    // learned candidates.
+    for (const Route& alternate :
+         store_->solver().candidates_at(tree, self_)) {
+      if (alternate.next_hop() != request.desired_next_hop) continue;
+      if (responder_.accept_switch(current, alternate,
+                                   request.compensation)) {
+        // Agree: pin the local selection. The data-plane push (and the
+        // re-advertisement to customers) belongs to the AS's RCP; the eval
+        // harness models the network-wide effect with a pinned re-solve.
+        switched_[request.destination] = request.desired_next_hop;
+        reply.accepted = true;
+        reply.new_path = alternate.path;
+        ++stats_.switches_accepted;
+      }
+      break;
+    }
+  }
+  if (!reply.accepted) ++stats_.switches_declined;
+  bus_->send(self_, from, std::move(reply));
+}
+
+void MiroAgent::handle(NodeId from, const SwitchResponse& response) {
+  (void)from;
+  auto it = pending_switches_.find(response.negotiation_id);
+  if (it == pending_switches_.end()) return;
+  auto callback = std::move(it->second);
+  pending_switches_.erase(it);
+  callback(response.accepted, response.new_path);
+}
+
+void MiroAgent::schedule_keepalive(TunnelId tunnel_id, NodeId responder) {
+  bus_->scheduler().after(soft_state_.keepalive_interval, [this, tunnel_id,
+                                                           responder]() {
+    if (upstream_.find(tunnel_id) == upstream_.end()) return;  // torn down
+    bus_->send(self_, responder, TunnelKeepAlive{tunnel_id});
+    schedule_keepalive(tunnel_id, responder);
+  });
+}
+
+void MiroAgent::schedule_sweep() {
+  bus_->scheduler().after(soft_state_.sweep_interval, [this]() {
+    const auto expired = tunnels_.expire(bus_->scheduler().now(),
+                                         soft_state_.expiry_timeout);
+    stats_.tunnels_expired += expired.size();
+    schedule_sweep();
+  });
+}
+
+}  // namespace miro::core

@@ -1,0 +1,242 @@
+// The MIRO control-plane negotiation protocol (Figure 4.2).
+//
+// Message flow between a requesting AS and a responding AS:
+//
+//   requester                    responder
+//      | -- RouteRequest  ------->  |   (destination, desired properties)
+//      | <-- RouteOffers  --------  |   (policy-filtered candidates + prices)
+//      | -- TunnelAccept  ------->  |   (the chosen candidate)
+//      | <-- TunnelConfirm -------  |   (tunnel id / endpoint address)
+//      | -- TunnelKeepAlive ... ->  |   (periodic soft-state refresh)
+//      | -- TunnelTeardown ------>  |   (active teardown; soft state covers
+//                                        the case where this never arrives)
+//
+// Each AS runs one MiroAgent. The responder applies its export policy, a
+// requester-supplied avoid constraint ("only give me paths without AS 312",
+// Section 6.2.2), price tags, and admission control (tunnel-count limit,
+// trust predicate). The requester picks the best affordable offer. Tunnels
+// are soft state: keep-alives refresh them and an expiry sweep destroys
+// silent ones (Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/export_policy.hpp"
+#include "core/route_store.hpp"
+#include "core/tunnel.hpp"
+#include "netsim/message_bus.hpp"
+
+namespace miro::core {
+
+// ---------------------------------------------------------------- messages
+
+struct RouteRequest {
+  std::uint64_t negotiation_id = 0;
+  NodeId destination = topo::kInvalidNode;
+  /// The neighbor of the responder through which the requester's traffic
+  /// will arrive (equals the requester for adjacent negotiation); the
+  /// responder evaluates export rules against this link.
+  NodeId arrival_neighbor = topo::kInvalidNode;
+  std::optional<NodeId> avoid;   ///< "only paths without AS X"
+  std::optional<int> max_cost;   ///< requester's price ceiling
+};
+
+struct RouteOffer {
+  Route route;
+  int cost = 0;
+};
+
+struct RouteOffers {
+  std::uint64_t negotiation_id = 0;
+  std::vector<RouteOffer> offers;  ///< empty = nothing acceptable / rejected
+};
+
+struct TunnelAccept {
+  std::uint64_t negotiation_id = 0;
+  Route chosen;
+  int cost = 0;
+};
+
+struct TunnelConfirm {
+  std::uint64_t negotiation_id = 0;
+  TunnelId tunnel_id = 0;
+};
+
+struct TunnelKeepAlive {
+  TunnelId tunnel_id = 0;
+};
+
+struct TunnelTeardown {
+  TunnelId tunnel_id = 0;
+};
+
+/// Downstream-initiated negotiation (Section 3.3): the requester asks the
+/// responder to *change its own default selection* toward `destination` —
+/// "AS F can negotiate with AS B to switch to an alternate path that
+/// traverses CF. Then, AS B can respond by agreeing to select the path BCF
+/// instead of BEF, and AS B will advertise the path BCF to its customers."
+struct SwitchRequest {
+  std::uint64_t negotiation_id = 0;
+  NodeId destination = topo::kInvalidNode;
+  /// The first hop of the alternate the requester wants the responder on.
+  NodeId desired_next_hop = topo::kInvalidNode;
+  /// Payment offered for deviating from the responder's preferred route.
+  int compensation = 0;
+};
+
+struct SwitchResponse {
+  std::uint64_t negotiation_id = 0;
+  bool accepted = false;
+  /// The path the responder now selects (empty when declined).
+  std::vector<NodeId> new_path;
+};
+
+using Message =
+    std::variant<RouteRequest, RouteOffers, TunnelAccept, TunnelConfirm,
+                 TunnelKeepAlive, TunnelTeardown, SwitchRequest,
+                 SwitchResponse>;
+
+using Bus = sim::MessageBus<Message>;
+
+// ------------------------------------------------------------------ agent
+
+/// Responder-side configuration (Chapter 6's negotiation-related rules).
+struct ResponderConfig {
+  ExportPolicy policy = ExportPolicy::RespectExport;
+  /// "accept negotiation from any when tunnel_number < 1000".
+  std::size_t max_tunnels = 1000;
+  /// Trust predicate; default accepts anyone.
+  std::function<bool(NodeId requester)> accept_from;
+  /// Price tag per offered route; default prices by class
+  /// (customer routes cheaper than peer routes, Section 6.2.2).
+  std::function<int(const Route&)> price;
+  /// Whether to accept a downstream-initiated switch from `current` to
+  /// `alternate` for the offered compensation. Default: accept alternates in
+  /// the same class for free, and lower-class alternates only when the
+  /// compensation covers the class gap (100 per rank).
+  std::function<bool(const Route& current, const Route& alternate,
+                     int compensation)>
+      accept_switch;
+};
+
+/// Timing knobs for the soft-state machinery.
+struct SoftStateConfig {
+  sim::Time keepalive_interval = 100;
+  sim::Time expiry_timeout = 350;   ///< > 3 keep-alive intervals
+  sim::Time sweep_interval = 100;
+  /// A negotiation whose responder stays silent this long fails locally
+  /// (the completion callback fires with established == false).
+  sim::Time negotiation_timeout = 2000;
+};
+
+/// Outcome delivered to the requester's completion callback.
+struct NegotiationOutcome {
+  bool established = false;
+  NodeId responder = topo::kInvalidNode;
+  TunnelId tunnel_id = 0;
+  Route route;       ///< the path bound to the tunnel, as seen at responder
+  int cost = 0;
+  std::size_t offers_received = 0;
+};
+
+class MiroAgent {
+ public:
+  /// `self` is this AS's node id; the agent attaches itself to the bus.
+  MiroAgent(NodeId self, RouteStore& store, Bus& bus,
+            ResponderConfig responder = {}, SoftStateConfig soft_state = {});
+
+  using CompletionCallback = std::function<void(const NegotiationOutcome&)>;
+
+  /// Initiates a negotiation with `responder` for alternate routes toward
+  /// `destination`. `arrival_neighbor` is the responder's neighbor on this
+  /// AS's default path (pass `self` when adjacent). The callback fires once,
+  /// when the negotiation either establishes a tunnel or fails.
+  std::uint64_t request(NodeId responder, NodeId arrival_neighbor,
+                        NodeId destination, std::optional<NodeId> avoid,
+                        std::optional<int> max_cost,
+                        CompletionCallback on_complete);
+
+  /// Actively tears down a tunnel this AS established as the upstream side.
+  void teardown(TunnelId tunnel_id);
+
+  /// Downstream-initiated negotiation: asks `responder` to switch its own
+  /// selection toward `destination` to the alternate whose first hop is
+  /// `desired_next_hop`, offering `compensation`. The callback receives
+  /// whether the responder agreed.
+  using SwitchCallback = std::function<void(bool accepted,
+                                            const std::vector<NodeId>& path)>;
+  std::uint64_t request_switch(NodeId responder, NodeId destination,
+                               NodeId desired_next_hop, int compensation,
+                               SwitchCallback on_complete);
+
+  /// Selections this AS has agreed to divert as a switch responder:
+  /// destination -> forced next hop. An RCP would push these into the
+  /// routers; the eval harness models them with a pinned re-solve.
+  const std::unordered_map<NodeId, NodeId>& switched_selections() const {
+    return switched_;
+  }
+
+  /// Tunnels this AS maintains as the downstream (responding) side.
+  const TunnelTable& tunnels() const { return tunnels_; }
+  /// Tunnels this AS uses as the upstream side: tunnel id -> responder.
+  const std::unordered_map<TunnelId, NodeId>& upstream_tunnels() const {
+    return upstream_;
+  }
+
+  struct Stats {
+    std::size_t requests_sent = 0;
+    std::size_t requests_received = 0;
+    std::size_t requests_rejected = 0;  ///< admission control
+    std::size_t offers_sent = 0;
+    std::size_t tunnels_established = 0;
+    std::size_t tunnels_expired = 0;    ///< soft-state timeouts
+    std::size_t tunnels_torn_down = 0;  ///< active teardowns received
+    std::size_t switches_accepted = 0;  ///< downstream-initiated diversions
+    std::size_t switches_declined = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  NodeId self() const { return self_; }
+
+ private:
+  void on_message(sim::EndpointId from, const Message& message);
+  void handle(NodeId from, const RouteRequest& request);
+  void handle(NodeId from, const RouteOffers& offers);
+  void handle(NodeId from, const TunnelAccept& accept);
+  void handle(NodeId from, const TunnelConfirm& confirm);
+  void handle(NodeId from, const TunnelKeepAlive& keepalive);
+  void handle(NodeId from, const TunnelTeardown& teardown);
+  void handle(NodeId from, const SwitchRequest& request);
+  void handle(NodeId from, const SwitchResponse& response);
+  void schedule_keepalive(TunnelId tunnel_id, NodeId responder);
+  void schedule_sweep();
+
+  NodeId self_;
+  RouteStore* store_;
+  Bus* bus_;
+  ResponderConfig responder_;
+  SoftStateConfig soft_state_;
+  TunnelTable tunnels_;  // downstream role
+
+  struct PendingRequest {
+    NodeId responder;
+    NodeId destination;
+    std::optional<NodeId> avoid;
+    std::optional<int> max_cost;
+    CompletionCallback on_complete;
+    std::size_t offers_received = 0;
+  };
+  std::uint64_t next_negotiation_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;  // requester
+  std::unordered_map<std::uint64_t, SwitchCallback> pending_switches_;
+  std::unordered_map<TunnelId, NodeId> upstream_;  // upstream role
+  std::unordered_map<NodeId, NodeId> switched_;    // switch-responder role
+  Stats stats_;
+};
+
+}  // namespace miro::core

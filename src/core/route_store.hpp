@@ -1,0 +1,40 @@
+// Lazy cache of stable routing trees, one per destination.
+//
+// Both the control-plane agents and the evaluation harness need the stable
+// routes toward many destinations; solving is cheap (one Dijkstra-style pass
+// per destination) but worth caching across agents within a scenario.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "bgp/route_solver.hpp"
+
+namespace miro::core {
+
+class RouteStore {
+ public:
+  explicit RouteStore(const topo::AsGraph& graph)
+      : solver_(graph) {}
+
+  /// The stable routing tree toward `destination`, solved on first use.
+  const bgp::RoutingTree& tree(topo::NodeId destination) {
+    auto it = trees_.find(destination);
+    if (it == trees_.end()) {
+      it = trees_
+               .emplace(destination, std::make_unique<bgp::RoutingTree>(
+                                         solver_.solve(destination)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  const bgp::StableRouteSolver& solver() const { return solver_; }
+  const topo::AsGraph& graph() const { return solver_.graph(); }
+
+ private:
+  bgp::StableRouteSolver solver_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<bgp::RoutingTree>> trees_;
+};
+
+}  // namespace miro::core

@@ -1,0 +1,40 @@
+#include "core/tunnel.hpp"
+
+namespace miro::core {
+
+TunnelId TunnelTable::create(NodeId remote_as, Route bound_route, int cost,
+                             sim::Time now) {
+  const TunnelId id = next_id_++;
+  tunnels_.emplace(
+      id, TunnelRecord{id, remote_as, std::move(bound_route), cost, now});
+  return id;
+}
+
+bool TunnelTable::remove(TunnelId id) { return tunnels_.erase(id) > 0; }
+
+const TunnelRecord* TunnelTable::find(TunnelId id) const {
+  auto it = tunnels_.find(id);
+  return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+bool TunnelTable::heartbeat(TunnelId id, sim::Time now) {
+  auto it = tunnels_.find(id);
+  if (it == tunnels_.end()) return false;
+  it->second.last_heartbeat = now;
+  return true;
+}
+
+std::vector<TunnelId> TunnelTable::expire(sim::Time now, sim::Time timeout) {
+  std::vector<TunnelId> expired;
+  for (auto it = tunnels_.begin(); it != tunnels_.end();) {
+    if (it->second.last_heartbeat + timeout <= now) {
+      expired.push_back(it->first);
+      it = tunnels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace miro::core

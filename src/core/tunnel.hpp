@@ -1,0 +1,65 @@
+// Tunnel state owned by a downstream (responding) AS.
+//
+// After a successful negotiation the downstream AS assigns a tunnel
+// identifier, unique only within itself (Section 3.5), binds it to the agreed
+// route, and maintains it as soft state: the upstream AS refreshes it with
+// keep-alives and the tunnel is destroyed when the heartbeat timer expires
+// (Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "net/packet.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::core {
+
+using bgp::Route;
+using net::TunnelId;
+using topo::NodeId;
+
+struct TunnelRecord {
+  TunnelId id = 0;
+  NodeId remote_as = topo::kInvalidNode;  ///< the upstream AS
+  Route bound_route;                      ///< path at the downstream AS
+  int cost = 0;                           ///< agreed per-negotiation price
+  sim::Time last_heartbeat = 0;
+};
+
+/// The downstream AS's table of active tunnels.
+class TunnelTable {
+ public:
+  /// Creates a tunnel and returns its fresh identifier.
+  TunnelId create(NodeId remote_as, Route bound_route, int cost,
+                  sim::Time now);
+
+  /// Tears a tunnel down; returns false when the id is unknown.
+  bool remove(TunnelId id);
+
+  const TunnelRecord* find(TunnelId id) const;
+
+  /// Refreshes the soft state; returns false when the id is unknown.
+  bool heartbeat(TunnelId id, sim::Time now);
+
+  /// Destroys every tunnel whose last heartbeat is older than `timeout`;
+  /// returns the ids torn down ("destroy tunnels when the heartbeat timer
+  /// expires").
+  std::vector<TunnelId> expire(sim::Time now, sim::Time timeout);
+
+  std::size_t active_count() const { return tunnels_.size(); }
+
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const auto& [id, record] : tunnels_) visit(record);
+  }
+
+ private:
+  TunnelId next_id_ = 1;
+  std::unordered_map<TunnelId, TunnelRecord> tunnels_;
+};
+
+}  // namespace miro::core

@@ -1,0 +1,49 @@
+#include "dataplane/classifier.hpp"
+
+#include "common/error.hpp"
+
+namespace miro::dataplane {
+
+bool MatchRule::matches(const net::Packet& packet) const {
+  const net::IpHeader& ip = packet.inner();
+  const net::FlowLabel& flow = packet.flow();
+  if (source_prefix && !source_prefix->contains(ip.source)) return false;
+  if (destination_prefix && !destination_prefix->contains(ip.destination))
+    return false;
+  if (source_port && *source_port != flow.source_port) return false;
+  if (destination_port && *destination_port != flow.destination_port)
+    return false;
+  if (protocol && *protocol != flow.protocol) return false;
+  if (type_of_service && *type_of_service != flow.type_of_service)
+    return false;
+  return true;
+}
+
+FlowSplitter::FlowSplitter(std::vector<double> weights) {
+  require(!weights.empty(), "FlowSplitter: need at least one path");
+  double total = 0;
+  for (double w : weights) {
+    require(w >= 0, "FlowSplitter: negative weight");
+    total += w;
+  }
+  require(total > 0, "FlowSplitter: weights sum to zero");
+  double running = 0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    running += w / total;
+    cumulative_.push_back(running);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t FlowSplitter::path_for(const net::Packet& packet) const {
+  // Map the flow hash uniformly into [0,1) and pick the first bucket whose
+  // cumulative weight covers it.
+  const double point =
+      static_cast<double>(packet.flow_hash() >> 11) * 0x1.0p-53;
+  for (std::size_t i = 0; i < cumulative_.size(); ++i)
+    if (point < cumulative_[i]) return i;
+  return cumulative_.size() - 1;
+}
+
+}  // namespace miro::dataplane

@@ -1,0 +1,73 @@
+// Traffic classification for tunnel ingress.
+//
+// "The upstream AS can implement these traffic-splitting policies by
+// installing classifiers that match packets based on header fields (e.g., IP
+// addresses, port numbers, and type-of-service bits)" and can also "direct a
+// fraction of the traffic along each of the paths by applying a hash function
+// that maps a traffic flow to a path" (Section 3.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace miro::dataplane {
+
+/// One match rule over packet header fields; unset fields match anything.
+struct MatchRule {
+  std::optional<net::Prefix> source_prefix;
+  std::optional<net::Prefix> destination_prefix;
+  std::optional<std::uint16_t> source_port;
+  std::optional<std::uint16_t> destination_port;
+  std::optional<std::uint8_t> protocol;
+  std::optional<std::uint8_t> type_of_service;
+
+  bool matches(const net::Packet& packet) const;
+};
+
+/// First-match classifier mapping packets to an action index (e.g. a tunnel
+/// slot). Rules are evaluated in insertion order; no match returns nullopt
+/// (the packet stays on the default path).
+template <typename Action>
+class Classifier {
+ public:
+  void add_rule(MatchRule rule, Action action) {
+    rules_.push_back({std::move(rule), std::move(action)});
+  }
+
+  const Action* classify(const net::Packet& packet) const {
+    for (const auto& entry : rules_)
+      if (entry.rule.matches(packet)) return &entry.action;
+    return nullptr;
+  }
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Entry {
+    MatchRule rule;
+    Action action;
+  };
+  std::vector<Entry> rules_;
+};
+
+/// Weighted flow-hash splitter: deterministically assigns each flow to one of
+/// N paths in proportion to the weights, keeping all packets of a flow on one
+/// path (no reordering).
+class FlowSplitter {
+ public:
+  /// `weights` need not be normalized; all must be non-negative, sum > 0.
+  explicit FlowSplitter(std::vector<double> weights);
+
+  /// Index of the path this packet's flow maps to.
+  std::size_t path_for(const net::Packet& packet) const;
+
+  std::size_t path_count() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+}  // namespace miro::dataplane

@@ -1,0 +1,205 @@
+#include "dataplane/encapsulation.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace miro::dataplane {
+
+const char* to_string(EncapsulationScheme scheme) {
+  switch (scheme) {
+    case EncapsulationScheme::ExitLinkAddress: return "exit-link-address";
+    case EncapsulationScheme::EgressRouterAddress:
+      return "egress-router-address";
+    case EncapsulationScheme::SharedAddress: return "shared-address";
+  }
+  return "?";
+}
+
+TunnelEndpointAs::TunnelEndpointAs(EncapsulationScheme scheme,
+                                   net::Prefix address_block)
+    : scheme_(scheme), block_(address_block) {
+  require(address_block.length() <= 24,
+          "TunnelEndpointAs: address block must be at least a /24");
+}
+
+net::Ipv4Address TunnelEndpointAs::router_address(RouterId r) const {
+  require(r < routers_.size(), "TunnelEndpointAs: router id out of range");
+  return routers_[r].address;
+}
+
+net::Ipv4Address TunnelEndpointAs::exit_link_address(ExitLinkId link) const {
+  require(link < exit_links_.size(),
+          "TunnelEndpointAs: exit link id out of range");
+  return exit_links_[link].address;
+}
+
+net::Ipv4Address TunnelEndpointAs::shared_address() const {
+  return net::Ipv4Address(block_.address().value() | 100);
+}
+
+TunnelEndpointAs::RouterId TunnelEndpointAs::add_router() {
+  require(routers_.size() < 90, "TunnelEndpointAs: router address pool full");
+  const auto id = static_cast<RouterId>(routers_.size());
+  routers_.push_back(
+      Router{net::Ipv4Address(block_.address().value() | (2 + id)), {}});
+  return id;
+}
+
+void TunnelEndpointAs::add_internal_link(RouterId a, RouterId b,
+                                         int igp_weight) {
+  require(a < routers_.size() && b < routers_.size() && a != b,
+          "TunnelEndpointAs: bad internal link endpoints");
+  require(igp_weight > 0, "TunnelEndpointAs: IGP weight must be positive");
+  routers_[a].links.push_back({b, igp_weight});
+  routers_[b].links.push_back({a, igp_weight});
+}
+
+TunnelEndpointAs::ExitLinkId TunnelEndpointAs::add_exit_link(
+    RouterId egress, topo::AsNumber neighbor_as) {
+  require(egress < routers_.size(),
+          "TunnelEndpointAs: egress router out of range");
+  require(exit_links_.size() < 150,
+          "TunnelEndpointAs: exit-link address pool full");
+  const auto id = static_cast<ExitLinkId>(exit_links_.size());
+  exit_links_.push_back(ExitLink{
+      egress, neighbor_as,
+      net::Ipv4Address(block_.address().value() | (101 + id))});
+  return id;
+}
+
+TunnelEndpointAs::TunnelEndpoint TunnelEndpointAs::establish_tunnel(
+    ExitLinkId exit) {
+  require(exit < exit_links_.size(), "TunnelEndpointAs: unknown exit link");
+  const net::TunnelId id = next_tunnel_id_++;
+  tunnels_.emplace(id, Tunnel{exit});
+  TunnelEndpoint endpoint;
+  endpoint.id = id;
+  switch (scheme_) {
+    case EncapsulationScheme::ExitLinkAddress:
+      endpoint.address = exit_links_[exit].address;
+      break;
+    case EncapsulationScheme::EgressRouterAddress:
+      endpoint.address = routers_[exit_links_[exit].egress].address;
+      break;
+    case EncapsulationScheme::SharedAddress:
+      endpoint.address = shared_address();
+      break;
+  }
+  return endpoint;
+}
+
+void TunnelEndpointAs::remove_tunnel(net::TunnelId id) { tunnels_.erase(id); }
+
+std::vector<TunnelEndpointAs::RouterId> TunnelEndpointAs::internal_path(
+    RouterId from, RouterId to) const {
+  std::vector<int> distance(routers_.size(), INT_MAX / 4);
+  std::vector<RouterId> previous(routers_.size(), from);
+  using Item = std::pair<int, RouterId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  distance[from] = 0;
+  queue.push({0, from});
+  while (!queue.empty()) {
+    auto [d, r] = queue.top();
+    queue.pop();
+    if (d > distance[r]) continue;
+    if (r == to) break;
+    for (const InternalLink& link : routers_[r].links) {
+      if (d + link.weight < distance[link.to]) {
+        distance[link.to] = d + link.weight;
+        previous[link.to] = r;
+        queue.push({distance[link.to], link.to});
+      }
+    }
+  }
+  std::vector<RouterId> path;
+  if (from != to && distance[to] >= INT_MAX / 4) return path;  // disconnected
+  for (RouterId r = to;; r = previous[r]) {
+    path.push_back(r);
+    if (r == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TunnelEndpointAs::DeliveryRecord TunnelEndpointAs::deliver(
+    net::Packet packet, RouterId ingress) const {
+  require(ingress < routers_.size(),
+          "TunnelEndpointAs: ingress router out of range");
+  require(packet.encapsulation_depth() > 0,
+          "TunnelEndpointAs: packet is not encapsulated");
+  DeliveryRecord record;
+
+  // Resolve the tunnel from the packet's shim.
+  const auto tunnel_id = packet.outer().tunnel_id;
+  const Tunnel* tunnel = nullptr;
+  if (tunnel_id) {
+    auto it = tunnels_.find(*tunnel_id);
+    if (it != tunnels_.end()) tunnel = &it->second;
+  }
+
+  // Scheme-specific ingress processing and egress resolution.
+  net::Ipv4Address outer = packet.outer().destination;
+  std::optional<ExitLinkId> exit;
+  switch (scheme_) {
+    case EncapsulationScheme::ExitLinkAddress: {
+      // The address alone picks the exit link; no tunnel id is needed.
+      for (ExitLinkId id = 0; id < exit_links_.size(); ++id)
+        if (exit_links_[id].address == outer) exit = id;
+      break;
+    }
+    case EncapsulationScheme::EgressRouterAddress: {
+      // Address picks the egress router; tunnel id picks the exit link.
+      if (tunnel != nullptr &&
+          routers_[exit_links_[tunnel->exit].egress].address == outer)
+        exit = tunnel->exit;
+      break;
+    }
+    case EncapsulationScheme::SharedAddress: {
+      // The ingress router owns a (tunnel id -> egress set) table, picks the
+      // closest egress, and rewrites the outer destination (Section 4.2's
+      // "R1 replaces 12.34.56.100 with 12.34.56.2").
+      if (tunnel != nullptr && outer == shared_address()) {
+        exit = tunnel->exit;
+        packet.rewrite_outer_destination(
+            routers_[exit_links_[*exit].egress].address);
+        record.rewritten = true;
+      }
+      break;
+    }
+  }
+  if (!exit) return record;  // no matching state: drop
+
+  record.router_path = internal_path(ingress, exit_links_[*exit].egress);
+  if (record.router_path.empty() && ingress != exit_links_[*exit].egress)
+    return record;  // internally partitioned
+
+  packet.decapsulate();  // the egress strips the outer header...
+  record.exit = exit;    // ...and direct-forwards onto the exit link
+  record.delivered = true;
+  return record;
+}
+
+std::size_t TunnelEndpointAs::exposed_address_count() const {
+  switch (scheme_) {
+    case EncapsulationScheme::ExitLinkAddress: {
+      std::set<ExitLinkId> used;
+      for (const auto& [id, tunnel] : tunnels_) used.insert(tunnel.exit);
+      return used.size();
+    }
+    case EncapsulationScheme::EgressRouterAddress: {
+      std::set<RouterId> used;
+      for (const auto& [id, tunnel] : tunnels_)
+        used.insert(exit_links_[tunnel.exit].egress);
+      return used.size();
+    }
+    case EncapsulationScheme::SharedAddress:
+      return tunnels_.empty() ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace miro::dataplane

@@ -1,0 +1,115 @@
+// The three tunnel-endpoint addressing schemes of Section 4.2.
+//
+// A downstream AS must tell the upstream AS what IP address to encapsulate
+// packets to, and its routers must carry those packets to the right exit
+// link. The dissertation describes three options with different trade-offs:
+//
+//   ExitLinkAddress     — every exit link gets its own reserved address; the
+//                         address alone identifies the exit (no tunnel id
+//                         needed), but internal topology leaks and addresses
+//                         are consumed per link.
+//   EgressRouterAddress — the egress router's address is advertised; fewer
+//                         addresses, but the egress must read the tunnel id
+//                         to pick the exit link ("directed forwarding").
+//   SharedAddress       — one reserved address for all tunnels; ingress
+//                         routers rewrite it to the closest egress for the
+//                         packet's tunnel id. Nothing internal is exposed and
+//                         the AS can re-route freely, at the cost of
+//                         data-plane rewriting at every ingress router.
+//
+// This model implements all three over one multi-router AS so their
+// behaviour and state costs can be compared (see the micro benchmark).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "topology/as_graph.hpp"
+
+namespace miro::dataplane {
+
+enum class EncapsulationScheme {
+  ExitLinkAddress,
+  EgressRouterAddress,
+  SharedAddress,
+};
+
+const char* to_string(EncapsulationScheme scheme);
+
+class TunnelEndpointAs {
+ public:
+  using RouterId = std::uint32_t;
+  using ExitLinkId = std::uint32_t;
+
+  /// `address_block` must be at least a /24; router and link addresses are
+  /// assigned from it (.2.. for routers, .101.. for exit links, .100 shared).
+  TunnelEndpointAs(EncapsulationScheme scheme, net::Prefix address_block);
+
+  RouterId add_router();
+  void add_internal_link(RouterId a, RouterId b, int igp_weight);
+  ExitLinkId add_exit_link(RouterId egress, topo::AsNumber neighbor_as);
+
+  /// Establishes tunnel state that exits via `exit`; returns the tunnel id
+  /// and the address the upstream AS must encapsulate to.
+  struct TunnelEndpoint {
+    net::TunnelId id = 0;
+    net::Ipv4Address address;
+  };
+  TunnelEndpoint establish_tunnel(ExitLinkId exit);
+
+  void remove_tunnel(net::TunnelId id);
+
+  /// Carries an encapsulated packet from ingress router `at` to its exit:
+  /// scheme-specific ingress processing (SharedAddress rewrites the outer
+  /// destination), shortest-path internal routing, decapsulation, and
+  /// directed forwarding at the egress.
+  struct DeliveryRecord {
+    bool delivered = false;
+    std::vector<RouterId> router_path;
+    std::optional<ExitLinkId> exit;
+    bool rewritten = false;  ///< ingress rewriting occurred (SharedAddress)
+  };
+  DeliveryRecord deliver(net::Packet packet, RouterId ingress) const;
+
+  /// How many internal addresses this scheme has exposed to upstream ASes —
+  /// the privacy/state metric the dissertation weighs the schemes by.
+  std::size_t exposed_address_count() const;
+
+  net::Ipv4Address router_address(RouterId r) const;
+  net::Ipv4Address exit_link_address(ExitLinkId link) const;
+  net::Ipv4Address shared_address() const;
+  std::size_t router_count() const { return routers_.size(); }
+
+ private:
+  struct InternalLink {
+    RouterId to;
+    int weight;
+  };
+  struct Router {
+    net::Ipv4Address address;
+    std::vector<InternalLink> links;
+  };
+  struct ExitLink {
+    RouterId egress;
+    topo::AsNumber neighbor_as;
+    net::Ipv4Address address;
+  };
+  struct Tunnel {
+    ExitLinkId exit;
+  };
+
+  /// Shortest router path between two routers; empty when disconnected.
+  std::vector<RouterId> internal_path(RouterId from, RouterId to) const;
+
+  EncapsulationScheme scheme_;
+  net::Prefix block_;
+  std::vector<Router> routers_;
+  std::vector<ExitLink> exit_links_;
+  std::unordered_map<net::TunnelId, Tunnel> tunnels_;
+  net::TunnelId next_tunnel_id_ = 1;
+};
+
+}  // namespace miro::dataplane

@@ -1,0 +1,124 @@
+// AS-level data plane: default forwarding plus MIRO tunnels.
+//
+// Packets are forwarded AS by AS. At each hop the AS performs a
+// longest-prefix match on the (outer) destination address to find the
+// destination AS, then forwards along its stable BGP next hop — unless the
+// packet matches an installed classifier at the tunnel head (then it is
+// encapsulated toward the responder) or carries a tunnel id at the responder
+// (then it is decapsulated and direct-forwarded onto the negotiated exit
+// link, after which plain destination-based forwarding takes over again,
+// exactly as in Figure 3.1(b)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/alternates.hpp"
+#include "core/route_store.hpp"
+#include "dataplane/classifier.hpp"
+#include "net/packet.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace miro::dataplane {
+
+using core::RouteStore;
+using core::SplicedPath;
+using net::Packet;
+using net::TunnelId;
+using topo::NodeId;
+
+/// Events recorded while tracing a packet through the AS graph.
+struct TraceHop {
+  NodeId as = topo::kInvalidNode;
+  enum class Action {
+    Forward,       ///< plain destination-based forwarding
+    Encapsulate,   ///< entered a tunnel here
+    Decapsulate,   ///< left a tunnel here (directed forwarding to exit link)
+    Deliver,       ///< reached the destination AS
+    Drop,          ///< no route / no matching state
+  } action = Action::Forward;
+  std::optional<TunnelId> tunnel_id;
+};
+
+struct TraceResult {
+  std::vector<TraceHop> hops;
+  bool delivered = false;
+
+  /// The AS-level path the packet actually took.
+  std::vector<NodeId> as_path() const;
+  bool traversed(NodeId as) const;
+  std::string to_string(const topo::AsGraph& graph) const;
+};
+
+/// The simulated AS-level forwarding plane.
+class AsLevelDataPlane {
+ public:
+  explicit AsLevelDataPlane(RouteStore& store);
+
+  /// Registers a prefix as originated by `as`. Every AS also gets a default
+  /// prefix derived from its AS number at construction
+  /// ("<asn>.0.0.0/16"-style synthetic addressing).
+  void add_prefix(NodeId as, const net::Prefix& prefix);
+
+  /// The synthetic address of a host inside `as` (host 1 of its prefix).
+  net::Ipv4Address host_address(NodeId as) const;
+
+  /// Installs the data-plane state for a negotiated tunnel along `spliced`
+  /// (from spliced.as_path.front() to the responder): the downstream
+  /// directed-forwarding entry and an upstream classifier. Returns the
+  /// tunnel id assigned by the downstream AS.
+  TunnelId install_tunnel(const SplicedPath& spliced, MatchRule match = {});
+
+  /// Installs several tunnels behind ONE classifier rule with hash-based
+  /// flow splitting: matching traffic is spread across the spliced paths in
+  /// proportion to `weights` (all packets of a flow stay on one path) —
+  /// "it can direct a fraction of the traffic along each of the paths by
+  /// applying a hash function that maps a traffic flow to a path"
+  /// (Section 3.5). All paths must share the same head AS. Returns the
+  /// per-path tunnel ids.
+  std::vector<TunnelId> install_split_tunnels(
+      const std::vector<SplicedPath>& spliced_paths,
+      const std::vector<double>& weights, MatchRule match = {});
+
+  /// Removes a tunnel's data-plane state at both ends.
+  void remove_tunnel(NodeId responder, TunnelId id);
+
+  /// Forwards a packet from `origin_as` until delivery or drop, recording
+  /// every hop. `max_hops` guards against forwarding loops. Non-const
+  /// because routing trees are solved lazily on first use.
+  TraceResult trace(Packet packet, NodeId origin_as,
+                    std::size_t max_hops = 64);
+
+  const RouteStore& store() const { return *store_; }
+
+ private:
+  struct TunnelTarget {
+    NodeId responder;
+    TunnelId tunnel_id;
+  };
+  struct UpstreamEntry {
+    std::vector<TunnelTarget> targets;
+    /// Present when the rule splits across several tunnels.
+    std::optional<FlowSplitter> splitter;
+  };
+  struct DownstreamEntry {
+    NodeId exit_neighbor;  // directed forwarding target
+  };
+
+  /// Destination AS for an address via longest-prefix match.
+  std::optional<NodeId> destination_as(net::Ipv4Address address) const;
+
+  RouteStore* store_;
+  net::PrefixTrie<NodeId> prefixes_;
+  /// Per upstream AS: classifier mapping packets to tunnel entries.
+  std::unordered_map<NodeId, Classifier<UpstreamEntry>> classifiers_;
+  /// Per downstream AS: tunnel id -> directed-forwarding state.
+  std::unordered_map<NodeId, std::unordered_map<TunnelId, DownstreamEntry>>
+      tunnel_tables_;
+  std::unordered_map<NodeId, TunnelId> next_tunnel_id_;
+};
+
+}  // namespace miro::dataplane

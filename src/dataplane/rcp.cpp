@@ -1,0 +1,97 @@
+#include "dataplane/rcp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace miro::dataplane {
+
+RoutingControlPlatform::RouterId RoutingControlPlatform::add_router(
+    net::Ipv4Address loopback) {
+  const RouterId bgp_id = routers_.add_router(loopback);
+  const RouterId fwd_id = forwarding_.add_router();
+  require(bgp_id == fwd_id, "RCP: router id mismatch between models");
+  return bgp_id;
+}
+
+void RoutingControlPlatform::add_internal_link(RouterId a, RouterId b,
+                                               int igp_weight) {
+  routers_.add_internal_link(a, b, igp_weight);
+  forwarding_.add_internal_link(a, b, igp_weight);
+}
+
+RoutingControlPlatform::ExitLinkId RoutingControlPlatform::add_exit_link(
+    RouterId egress, topo::AsNumber neighbor_as) {
+  const ExitLinkId link = forwarding_.add_exit_link(egress, neighbor_as);
+  exits_[neighbor_as].push_back(link);
+  return link;
+}
+
+void RoutingControlPlatform::learn_route(RouterId egress,
+                                         std::vector<topo::AsNumber> as_path,
+                                         int local_pref,
+                                         net::Ipv4Address peer_address) {
+  require(!as_path.empty(), "RCP::learn_route: empty AS path");
+  const topo::AsNumber next_hop_as = as_path.front();
+  require(exits_.find(next_hop_as) != exits_.end(),
+          "RCP::learn_route: no exit link declared for the next-hop AS");
+  routers_.inject_ebgp_route(egress, next_hop_as, peer_address,
+                             std::move(as_path), local_pref);
+}
+
+std::vector<bgp::RouterRoute> RoutingControlPlatform::alternates(
+    std::optional<topo::AsNumber> avoid) const {
+  // The AS-wide default: the path most routers selected.
+  std::vector<topo::AsNumber> default_path;
+  {
+    std::vector<std::pair<std::vector<topo::AsNumber>, int>> votes;
+    for (RouterId r = 0; r < routers_.router_count(); ++r) {
+      const auto selected = routers_.selected(r);
+      if (!selected) continue;
+      bool counted = false;
+      for (auto& [path, count] : votes)
+        if (path == selected->as_path) {
+          ++count;
+          counted = true;
+        }
+      if (!counted) votes.emplace_back(selected->as_path, 1);
+    }
+    int best_votes = 0;
+    for (const auto& [path, count] : votes)
+      if (count > best_votes) {
+        best_votes = count;
+        default_path = path;
+      }
+  }
+
+  std::vector<bgp::RouterRoute> result;
+  for (const bgp::RouterRoute& route : routers_.all_valid_paths()) {
+    if (route.as_path == default_path) continue;
+    if (avoid && std::find(route.as_path.begin(), route.as_path.end(),
+                           *avoid) != route.as_path.end())
+      continue;
+    result.push_back(route);
+  }
+  return result;
+}
+
+std::optional<RoutingControlPlatform::Binding>
+RoutingControlPlatform::establish_tunnel(
+    const std::vector<topo::AsNumber>& as_path) {
+  // The path must actually be known in this AS...
+  const auto known = routers_.all_valid_paths();
+  const auto it = std::find_if(known.begin(), known.end(),
+                               [&](const bgp::RouterRoute& route) {
+                                 return route.as_path == as_path;
+                               });
+  if (it == known.end()) return std::nullopt;
+  // ...and leave over a declared exit link of the next-hop AS; prefer the
+  // link at the router that learned the route.
+  const auto exits = exits_.find(as_path.front());
+  if (exits == exits_.end() || exits->second.empty()) return std::nullopt;
+  ExitLinkId chosen = exits->second.front();
+  const auto endpoint = forwarding_.establish_tunnel(chosen);
+  return Binding{endpoint.id, endpoint.address, chosen};
+}
+
+}  // namespace miro::dataplane

@@ -1,0 +1,99 @@
+// A per-AS Routing Control Platform (Section 4.1, second implementation
+// option).
+//
+// "A separate service, such as the Routing Control Platform (RCP), ... can
+// manage the interdomain routing information on behalf of the routers. ...
+// The routing control platform in AS X handles the requests from the
+// customer's routing control platform for alternate routes to reach the
+// destination. The routing control platform can also install the data-plane
+// state, such as tunneling tables or packet classifiers, in the routers to
+// direct traffic along the chosen paths."
+//
+// The RCP owns the AS's router-level BGP state (RouterLevelAs) and its
+// tunnel-endpoint forwarding state (TunnelEndpointAs), knows which exit link
+// each eBGP session rides, aggregates every valid AS path known anywhere in
+// the AS (the MIRO extension of Section 4.1), answers alternate-route
+// requests, and installs decapsulation + directed-forwarding state when a
+// negotiation concludes.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/router_level.hpp"
+#include "dataplane/encapsulation.hpp"
+
+namespace miro::dataplane {
+
+class RoutingControlPlatform {
+ public:
+  using RouterId = bgp::RouterLevelAs::RouterId;
+  using ExitLinkId = TunnelEndpointAs::ExitLinkId;
+
+  RoutingControlPlatform(topo::AsNumber asn, EncapsulationScheme scheme,
+                         net::Prefix address_block)
+      : asn_(asn), forwarding_(scheme, address_block) {}
+
+  topo::AsNumber asn() const { return asn_; }
+  bgp::RouterLevelAs& routers() { return routers_; }
+  const bgp::RouterLevelAs& routers() const { return routers_; }
+  TunnelEndpointAs& forwarding() { return forwarding_; }
+
+  /// Mirrors a router into the forwarding model; call once per router, in
+  /// router-id order. Returns the forwarding-side id (equal by invariant).
+  RouterId add_router(net::Ipv4Address loopback);
+  void add_internal_link(RouterId a, RouterId b, int igp_weight);
+
+  /// Declares that `egress` has an eBGP session / exit link to
+  /// `neighbor_as`; the RCP needs this to bind negotiated paths to links.
+  ExitLinkId add_exit_link(RouterId egress, topo::AsNumber neighbor_as);
+
+  /// Injects an eBGP-learned route at `egress` (the session to the path's
+  /// first AS must have been declared). Call converge() afterwards.
+  void learn_route(RouterId egress, std::vector<topo::AsNumber> as_path,
+                   int local_pref, net::Ipv4Address peer_address);
+  void converge() { routers_.converge(); }
+
+  /// Every distinct valid AS path known anywhere in the AS — what MIRO may
+  /// offer, regardless of per-router best-path choices.
+  std::vector<bgp::RouterRoute> all_paths() const {
+    return routers_.all_valid_paths();
+  }
+
+  /// Alternate-route request handling: all known paths that avoid `avoid`
+  /// (when set) and differ from the AS-wide default (the path most routers
+  /// selected), most preferred first.
+  std::vector<bgp::RouterRoute> alternates(
+      std::optional<topo::AsNumber> avoid) const;
+
+  /// Concludes a negotiation for `as_path`: finds the exit link of the
+  /// path's first AS and creates the tunnel endpoint. Returns nullopt when
+  /// the path is not actually available in this AS.
+  struct Binding {
+    net::TunnelId tunnel_id = 0;
+    net::Ipv4Address endpoint_address;
+    ExitLinkId exit_link = 0;
+  };
+  std::optional<Binding> establish_tunnel(
+      const std::vector<topo::AsNumber>& as_path);
+
+  void release_tunnel(net::TunnelId id) { forwarding_.remove_tunnel(id); }
+
+  /// Carries an encapsulated packet arriving at `ingress` through the AS
+  /// (scheme-specific processing + internal routing + directed forwarding).
+  TunnelEndpointAs::DeliveryRecord deliver(net::Packet packet,
+                                           RouterId ingress) const {
+    return forwarding_.deliver(std::move(packet), ingress);
+  }
+
+ private:
+  topo::AsNumber asn_;
+  bgp::RouterLevelAs routers_;
+  TunnelEndpointAs forwarding_;
+  /// neighbor AS -> exit links toward it (a neighbor can connect at
+  /// multiple routers, like AS W in Figure 4.1).
+  std::unordered_map<topo::AsNumber, std::vector<ExitLinkId>> exits_;
+};
+
+}  // namespace miro::dataplane

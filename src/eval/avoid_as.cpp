@@ -1,0 +1,221 @@
+#include "eval/avoid_as.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "common/table.hpp"
+#include "topology/metrics.hpp"
+
+namespace miro::eval {
+namespace {
+
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
+  AvoidAsResult result;
+  result.profile = plan.config().profile;
+  const core::AlternatesEngine engine(plan.solver());
+  const auto tuples =
+      plan.sample_tuples(plan.config().sources_per_destination);
+  result.tuples = tuples.size();
+
+  std::size_t single_ok = 0;
+  std::size_t source_ok = 0;
+  std::size_t multi_ok[3] = {0, 0, 0};
+
+  // Table 5.3 accumulators over single-path-failing tuples.
+  std::size_t hard_tuples = 0;
+  std::size_t hard_ok[3] = {0, 0, 0};
+  std::size_t hard_contacted[3] = {0, 0, 0};
+  std::size_t hard_paths[3] = {0, 0, 0};
+
+  // Source-routing reachability cache: one BFS from the destination with the
+  // avoided AS removed answers every source for that (destination, avoid).
+  std::map<std::pair<NodeId, NodeId>, std::vector<bool>> source_cache;
+  auto reachable_set = [&plan](NodeId destination, NodeId avoid) {
+    const AsGraph& graph = plan.graph();
+    std::vector<bool> reachable(graph.node_count(), false);
+    std::vector<NodeId> frontier{destination};
+    reachable[destination] = true;
+    while (!frontier.empty()) {
+      const NodeId node = frontier.back();
+      frontier.pop_back();
+      for (const topo::Neighbor& n : graph.neighbors(node)) {
+        if (n.node == avoid || reachable[n.node]) continue;
+        reachable[n.node] = true;
+        frontier.push_back(n.node);
+      }
+    }
+    return reachable;
+  };
+
+  for (const SampledTuple& tuple : tuples) {
+    const RoutingTree& tree = plan.tree(tuple.tree_index);
+
+    bool single = false;
+    bool policy_ok[3] = {false, false, false};
+    std::size_t contacted[3] = {0, 0, 0};
+    std::size_t paths[3] = {0, 0, 0};
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto outcome = engine.avoid_as(tree, tuple.source, tuple.avoid,
+                                           core::kAllPolicies[p]);
+      policy_ok[p] = outcome.success;
+      contacted[p] = outcome.ases_contacted;
+      paths[p] = outcome.paths_received;
+      if (outcome.bgp_success) single = true;
+    }
+    if (single) ++single_ok;
+    for (std::size_t p = 0; p < 3; ++p)
+      if (policy_ok[p]) ++multi_ok[p];
+
+    const auto key = std::make_pair(tuple.destination, tuple.avoid);
+    auto it = source_cache.find(key);
+    if (it == source_cache.end())
+      it = source_cache
+               .emplace(key, reachable_set(tuple.destination, tuple.avoid))
+               .first;
+    if (it->second[tuple.source]) ++source_ok;
+
+    if (!single) {
+      ++hard_tuples;
+      for (std::size_t p = 0; p < 3; ++p) {
+        if (policy_ok[p]) ++hard_ok[p];
+        hard_contacted[p] += contacted[p];
+        hard_paths[p] += paths[p];
+      }
+    }
+  }
+
+  result.single_rate = ratio(single_ok, result.tuples);
+  result.source_rate = ratio(source_ok, result.tuples);
+  for (std::size_t p = 0; p < 3; ++p) {
+    result.multi_rate[p] = ratio(multi_ok[p], result.tuples);
+    AvoidAsResult::StateRow row;
+    row.policy = core::kAllPolicies[p];
+    row.tuples = hard_tuples;
+    row.success_rate = ratio(hard_ok[p], hard_tuples);
+    row.avg_ases_contacted =
+        hard_tuples == 0 ? 0
+                         : static_cast<double>(hard_contacted[p]) /
+                               static_cast<double>(hard_tuples);
+    row.avg_paths_received =
+        hard_tuples == 0 ? 0
+                         : static_cast<double>(hard_paths[p]) /
+                               static_cast<double>(hard_tuples);
+    result.state_rows.push_back(row);
+  }
+  return result;
+}
+
+void print_table_5_2(const AvoidAsResult& result, std::ostream& out) {
+  out << "Table 5.2 — avoid-an-AS success rate by routing policy\n";
+  TextTable table({"Name", "Single", "Multi/s", "Multi/e", "Multi/a",
+                   "Source"});
+  table.add_row({result.profile, TextTable::percent(result.single_rate),
+                 TextTable::percent(result.multi_rate[0]),
+                 TextTable::percent(result.multi_rate[1]),
+                 TextTable::percent(result.multi_rate[2]),
+                 TextTable::percent(result.source_rate)});
+  table.print(out);
+  out << "(" << result.tuples << " sampled (source, destination, avoid) "
+      << "tuples)\n";
+}
+
+void print_table_5_3(const AvoidAsResult& result, std::ostream& out) {
+  out << "Table 5.3 — negotiation state per tuple (single-path failures "
+         "only) [" << result.profile << "]\n";
+  TextTable table({"Policy", "Success Rate", "AS#/tuple", "Path#/tuple"});
+  for (const auto& row : result.state_rows) {
+    table.add_row({std::string(core::to_string(row.policy)) +
+                       core::suffix(row.policy),
+                   TextTable::percent(row.success_rate),
+                   TextTable::num(row.avg_ases_contacted),
+                   TextTable::num(row.avg_paths_received, 1)});
+  }
+  table.print(out);
+}
+
+DeploymentResult run_incremental_deployment(const ExperimentPlan& plan) {
+  DeploymentResult result;
+  result.profile = plan.config().profile;
+  const core::AlternatesEngine engine(plan.solver());
+  const auto all_tuples =
+      plan.sample_tuples(plan.config().sources_per_destination);
+  const auto by_degree = topo::nodes_by_degree_descending(plan.graph());
+  const std::size_t n = plan.graph().node_count();
+
+  // Deployment only matters where plain BGP fails; restrict to those tuples
+  // and use ubiquitous flexible-policy deployment as the gain baseline.
+  std::vector<SampledTuple> tuples;
+  std::size_t base_ok = 0;
+  for (const SampledTuple& tuple : all_tuples) {
+    const auto outcome =
+        engine.avoid_as(plan.tree(tuple.tree_index), tuple.source,
+                        tuple.avoid, core::ExportPolicy::Flexible);
+    if (outcome.bgp_success) continue;
+    tuples.push_back(tuple);
+    if (outcome.success) ++base_ok;
+  }
+  if (base_ok == 0) return result;  // degenerate sample; nothing to plot
+
+  const double fractions[] = {0.001, 0.002, 0.005, 0.01, 0.02,
+                              0.05,  0.1,   0.2,   0.5,  1.0};
+  for (double fraction : fractions) {
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(n) * fraction));
+    std::vector<bool> top_deployed(n, false);
+    std::vector<bool> bottom_deployed(n, false);
+    for (std::size_t i = 0; i < count && i < n; ++i) {
+      top_deployed[by_degree[i]] = true;
+      bottom_deployed[by_degree[n - 1 - i]] = true;
+    }
+
+    DeploymentPoint point;
+    point.fraction = static_cast<double>(count) / static_cast<double>(n);
+    for (std::size_t p = 0; p < 3; ++p) {
+      std::size_t ok = 0;
+      for (const SampledTuple& tuple : tuples) {
+        if (engine
+                .avoid_as(plan.tree(tuple.tree_index), tuple.source,
+                          tuple.avoid, core::kAllPolicies[p], &top_deployed)
+                .success)
+          ++ok;
+      }
+      point.relative_gain[p] = ratio(ok, base_ok);
+    }
+    std::size_t low_ok = 0;
+    for (const SampledTuple& tuple : tuples) {
+      if (engine
+              .avoid_as(plan.tree(tuple.tree_index), tuple.source,
+                        tuple.avoid, core::ExportPolicy::Flexible,
+                        &bottom_deployed)
+              .success)
+        ++low_ok;
+    }
+    point.low_degree_first_gain = ratio(low_ok, base_ok);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+void print(const DeploymentResult& result, std::ostream& out) {
+  out << "Figures 5.4/5.5 — incremental deployment: fraction of "
+         "full-deployment (/a) gain [" << result.profile << "]\n";
+  TextTable table({"deployed%", "top-degree /s", "top-degree /e",
+                   "top-degree /a", "low-degree-first /a"});
+  for (const DeploymentPoint& point : result.points) {
+    table.add_row({TextTable::percent(point.fraction, 1),
+                   TextTable::percent(point.relative_gain[0]),
+                   TextTable::percent(point.relative_gain[1]),
+                   TextTable::percent(point.relative_gain[2]),
+                   TextTable::percent(point.low_degree_first_gain)});
+  }
+  table.print(out);
+}
+
+}  // namespace miro::eval

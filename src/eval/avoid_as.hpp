@@ -1,0 +1,66 @@
+// Experiment: avoiding an AS on the default path (Section 5.3).
+//
+// For sampled (source, destination, AS-to-avoid) tuples — the offending AS
+// on the source's default path, never an immediate neighbor of the source —
+// measures:
+//   Table 5.2 — success rate of single-path BGP, MIRO under /s, /e, /a, and
+//               unconstrained source routing;
+//   Table 5.3 — for the tuples plain BGP cannot satisfy: MIRO success rate,
+//               average ASes contacted, and average candidate paths received
+//               per tuple, per policy;
+//   Figs 5.4/5.5 — incremental deployment: fraction of the full-deployment
+//               gain achieved when only the top x% of ASes by degree (or,
+//               as the control, the bottom x%) run MIRO.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/alternates.hpp"
+#include "eval/experiments.hpp"
+
+namespace miro::eval {
+
+struct AvoidAsResult {
+  std::string profile;
+  std::size_t tuples = 0;
+
+  // Table 5.2 row.
+  double single_rate = 0;
+  double multi_rate[3] = {0, 0, 0};   ///< indexed like kAllPolicies
+  double source_rate = 0;
+
+  // Table 5.3 rows (restricted to tuples where single-path fails).
+  struct StateRow {
+    core::ExportPolicy policy;
+    std::size_t tuples = 0;
+    double success_rate = 0;
+    double avg_ases_contacted = 0;
+    double avg_paths_received = 0;
+  };
+  std::vector<StateRow> state_rows;
+};
+
+AvoidAsResult run_avoid_as(const ExperimentPlan& plan);
+
+void print_table_5_2(const AvoidAsResult& result, std::ostream& out);
+void print_table_5_3(const AvoidAsResult& result, std::ostream& out);
+
+/// Incremental deployment (Figures 5.4/5.5): success relative to ubiquitous
+/// flexible-policy deployment, when only a fraction of ASes run MIRO.
+struct DeploymentPoint {
+  double fraction = 0;      ///< of ASes deployed
+  double relative_gain[3] = {0, 0, 0};  ///< per policy, vs full /a
+  double low_degree_first_gain = 0;     ///< control: /a, lowest degree first
+};
+
+struct DeploymentResult {
+  std::string profile;
+  std::vector<DeploymentPoint> points;
+};
+
+DeploymentResult run_incremental_deployment(const ExperimentPlan& plan);
+
+void print(const DeploymentResult& result, std::ostream& out);
+
+}  // namespace miro::eval

@@ -1,0 +1,87 @@
+#include "eval/experiments.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace miro::eval {
+
+ExperimentPlan::ExperimentPlan(const EvalConfig& config) : config_(config) {
+  topo::GeneratorParams params = topo::profile(config.profile, config.scale);
+  graph_ = std::make_unique<AsGraph>(topo::generate(params));
+  solver_ = std::make_unique<StableRouteSolver>(*graph_);
+
+  Rng rng(config.seed);
+  const std::size_t n = graph_->node_count();
+  const std::size_t samples = std::min(config.destination_samples, n);
+  for (std::size_t index : rng.sample_indices(n, samples))
+    destinations_.push_back(static_cast<NodeId>(index));
+  std::sort(destinations_.begin(), destinations_.end());
+  trees_.reserve(destinations_.size());
+  for (NodeId dest : destinations_) trees_.push_back(solver_->solve(dest));
+}
+
+std::vector<SampledPair> ExperimentPlan::sample_pairs(
+    std::size_t per_destination, std::uint64_t salt) const {
+  std::vector<SampledPair> pairs;
+  Rng rng(config_.seed ^ (salt + 0x5051));
+  const std::size_t n = graph_->node_count();
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const RoutingTree& tree = trees_[t];
+    const std::size_t want = std::min(per_destination, n - 1);
+    // Oversample to absorb the destination itself and unreachable sources.
+    const std::size_t draw = std::min(n, want * 2 + 8);
+    std::size_t taken = 0;
+    for (std::size_t index : rng.sample_indices(n, draw)) {
+      if (taken >= want) break;
+      auto source = static_cast<NodeId>(index);
+      if (source == tree.destination() || !tree.reachable(source)) continue;
+      pairs.push_back({source, tree.destination(), t});
+      ++taken;
+    }
+  }
+  return pairs;
+}
+
+std::vector<SampledTuple> ExperimentPlan::sample_tuples(
+    std::size_t per_destination, std::uint64_t salt) const {
+  std::vector<SampledTuple> tuples;
+  for (const SampledPair& pair : sample_pairs(per_destination, salt)) {
+    const RoutingTree& tree = trees_[pair.tree_index];
+    const std::vector<NodeId> path = tree.path_of(pair.source);
+    // Intermediate ASes only; skip any AS adjacent to the source — "an AS
+    // is not likely to distrust one of its own immediate neighbors" — and
+    // the destination itself.
+    for (std::size_t i = 2; i + 1 < path.size(); ++i) {
+      if (graph_->has_edge(pair.source, path[i])) continue;
+      tuples.push_back({pair.source, pair.destination, path[i],
+                        pair.tree_index});
+    }
+  }
+  return tuples;
+}
+
+bool reachable_avoiding(const AsGraph& graph, NodeId source,
+                        NodeId destination, NodeId avoid) {
+  if (source == avoid || destination == avoid) return false;
+  if (source == destination) return true;
+  std::vector<char> visited(graph.node_count(), 0);
+  std::deque<NodeId> frontier;
+  visited[source] = 1;
+  visited[avoid] = 1;  // never enter the avoided AS
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    for (const topo::Neighbor& n : graph.neighbors(node)) {
+      if (visited[n.node]) continue;
+      if (n.node == destination) return true;
+      visited[n.node] = 1;
+      frontier.push_back(n.node);
+    }
+  }
+  return false;
+}
+
+}  // namespace miro::eval

@@ -1,0 +1,88 @@
+// Shared plumbing for the Chapter 5 experiments.
+//
+// Every experiment runs over a named topology profile with deterministic
+// sampling: destinations are sampled, one stable routing tree is solved per
+// destination, and sources / avoid-AS tuples are sampled from each tree. All
+// randomness flows from the config seed, so every bench regenerates
+// identical tables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/route_solver.hpp"
+#include "common/rng.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::eval {
+
+using bgp::RoutingTree;
+using bgp::StableRouteSolver;
+using topo::AsGraph;
+using topo::NodeId;
+
+struct EvalConfig {
+  std::string profile = "gao2005";
+  /// Shrinks the profile's node counts, for quick runs and tests.
+  double scale = 1.0;
+  std::size_t destination_samples = 100;
+  std::size_t sources_per_destination = 50;
+  std::uint64_t seed = 42;
+};
+
+/// One sampled (source, destination) pair with its default path.
+struct SampledPair {
+  NodeId source;
+  NodeId destination;
+  std::size_t tree_index;  ///< index into ExperimentPlan::trees
+};
+
+/// One sampled avoid-AS tuple: the offending AS lies on the source's default
+/// path and is not an immediate neighbor of the source (Section 5.3's
+/// exclusions).
+struct SampledTuple {
+  NodeId source;
+  NodeId destination;
+  NodeId avoid;
+  std::size_t tree_index;
+};
+
+/// Pre-solved routing state shared by the experiments.
+class ExperimentPlan {
+ public:
+  /// Generates the topology and solves trees for sampled destinations.
+  explicit ExperimentPlan(const EvalConfig& config);
+
+  const AsGraph& graph() const { return *graph_; }
+  const StableRouteSolver& solver() const { return *solver_; }
+  const std::vector<RoutingTree>& trees() const { return trees_; }
+  const RoutingTree& tree(std::size_t index) const { return trees_[index]; }
+
+  /// Sampled (source, destination) pairs, `per_destination` per tree.
+  std::vector<SampledPair> sample_pairs(std::size_t per_destination,
+                                        std::uint64_t salt = 0) const;
+
+  /// Sampled avoid-AS tuples derived from the pairs: every intermediate AS
+  /// on the default path except the source's first hop and the destination.
+  std::vector<SampledTuple> sample_tuples(std::size_t per_destination,
+                                          std::uint64_t salt = 0) const;
+
+  const EvalConfig& config() const { return config_; }
+
+ private:
+  EvalConfig config_;
+  std::unique_ptr<AsGraph> graph_;
+  std::unique_ptr<StableRouteSolver> solver_;
+  std::vector<NodeId> destinations_;
+  std::vector<RoutingTree> trees_;
+};
+
+/// True when `destination` is reachable from `source` in the graph with
+/// `avoid` removed — the success criterion for unconstrained source routing
+/// (Table 5.2's last column). BFS over the undirected graph.
+bool reachable_avoiding(const AsGraph& graph, NodeId source,
+                        NodeId destination, NodeId avoid);
+
+}  // namespace miro::eval

@@ -1,0 +1,64 @@
+#include "eval/path_diversity.hpp"
+
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace miro::eval {
+
+DiversityResult run_path_diversity(const ExperimentPlan& plan) {
+  DiversityResult result;
+  result.profile = plan.config().profile;
+  const core::AlternatesEngine engine(plan.solver());
+
+  const auto pairs =
+      plan.sample_pairs(plan.config().sources_per_destination);
+
+  constexpr core::NegotiationScope kScopes[] = {
+      core::NegotiationScope::OneHop, core::NegotiationScope::OnPath};
+  for (core::NegotiationScope scope : kScopes) {
+    for (core::ExportPolicy policy : core::kAllPolicies) {
+      Summary counts;
+      for (const SampledPair& pair : pairs) {
+        counts.add(static_cast<double>(engine.count(
+            plan.tree(pair.tree_index), pair.source, scope, policy)));
+      }
+      DiversityRow row;
+      row.scope = scope;
+      row.policy = policy;
+      row.pairs = counts.count();
+      if (!counts.empty()) {
+        row.fraction_zero = counts.fraction_at_most(0);
+        row.p25 = counts.percentile(25);
+        row.p50 = counts.percentile(50);
+        row.p75 = counts.percentile(75);
+        row.p90 = counts.percentile(90);
+        row.mean = counts.mean();
+        row.max = counts.max();
+      }
+      result.rows.push_back(row);
+    }
+  }
+  return result;
+}
+
+void print(const DiversityResult& result, std::ostream& out) {
+  out << "Figures 5.2/5.3 — number of available alternate routes per "
+         "(source, destination) pair [" << result.profile << "]\n";
+  TextTable table({"scope", "policy", "pairs", "no-alt%", "p25", "median",
+                   "p75", "p90", "mean", "max"});
+  for (const DiversityRow& row : result.rows) {
+    table.add_row({to_string(row.scope),
+                   std::string(core::to_string(row.policy)) +
+                       core::suffix(row.policy),
+                   std::to_string(row.pairs),
+                   TextTable::percent(row.fraction_zero),
+                   TextTable::num(row.p25, 0), TextTable::num(row.p50, 0),
+                   TextTable::num(row.p75, 0), TextTable::num(row.p90, 0),
+                   TextTable::num(row.mean, 1), TextTable::num(row.max, 0)});
+  }
+  table.print(out);
+}
+
+}  // namespace miro::eval

@@ -1,0 +1,39 @@
+// Experiment: exposing the underlying path diversity (Figures 5.2 and 5.3).
+//
+// For sampled (source, destination) pairs, counts the distinct alternate
+// end-to-end AS paths MIRO can expose, sweeping negotiation scope ("1-hop"
+// vs "path") and export policy (strict /s, respect-export /e, flexible /a).
+// The figures plot the sorted distribution; this reports its percentiles and
+// the fraction of pairs with no alternates at all (the paper's "only 5% have
+// no alternate paths in the worst case").
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/alternates.hpp"
+#include "eval/experiments.hpp"
+
+namespace miro::eval {
+
+struct DiversityRow {
+  core::NegotiationScope scope;
+  core::ExportPolicy policy;
+  std::size_t pairs = 0;
+  double fraction_zero = 0;   ///< pairs with no alternate path
+  double p25 = 0, p50 = 0, p75 = 0, p90 = 0;
+  double mean = 0;
+  double max = 0;
+};
+
+struct DiversityResult {
+  std::string profile;
+  std::vector<DiversityRow> rows;  ///< 2 scopes x 3 policies, paper order
+};
+
+DiversityResult run_path_diversity(const ExperimentPlan& plan);
+
+/// Prints the figure's series as a table (and the raw CDF shape).
+void print(const DiversityResult& result, std::ostream& out);
+
+}  // namespace miro::eval

@@ -1,0 +1,211 @@
+#include "eval/te_comparison.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace miro::eval {
+namespace {
+
+/// Ingress split toward `tree.destination()` under unit traffic per source.
+std::map<NodeId, std::size_t> ingress_split(const topo::AsGraph& graph,
+                                            const RoutingTree& tree,
+                                            std::size_t& total) {
+  std::map<NodeId, std::size_t> counts;
+  total = 0;
+  for (NodeId s = 0; s < graph.node_count(); ++s) {
+    if (s == tree.destination() || !tree.reachable(s)) continue;
+    ++total;
+    ++counts[tree.ingress_neighbor(s)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
+                                     const TeComparisonConfig& config) {
+  TeComparisonResult result;
+  result.profile = plan.config().profile;
+  const topo::AsGraph& graph = plan.graph();
+  const StableRouteSolver& solver = plan.solver();
+
+  std::vector<NodeId> stubs;
+  for (NodeId node = 0; node < graph.node_count(); ++node)
+    if (graph.is_multi_homed_stub(node)) stubs.push_back(node);
+  Rng rng(plan.config().seed ^ 0xdeacc);
+  rng.shuffle(stubs);
+  if (stubs.size() > config.stub_samples) stubs.resize(config.stub_samples);
+  result.stubs = stubs.size();
+
+  Summary miro_moved;
+  Summary deagg_moved;
+  std::vector<Summary> prepend_moved(config.prepend_depths.size());
+  Summary miro_error, deagg_error, prepend_error;
+  const double target = config.target_shift;
+  // Distance from the target to the closest shift the mechanism's knob menu
+  // offers (doing nothing is always on the menu).
+  auto targeting_error = [target](const std::vector<double>& menu) {
+    double error = target;  // the "do nothing" option
+    for (double option : menu)
+      error = std::min(error, std::abs(option - target));
+    return error;
+  };
+
+  for (NodeId stub : stubs) {
+    const RoutingTree tree = solver.solve(stub);
+    std::size_t total = 0;
+    const auto before = ingress_split(graph, tree, total);
+    if (total == 0 || before.size() < 2) {
+      miro_moved.add(0);
+      deagg_moved.add(0);
+      for (auto& summary : prepend_moved) summary.add(0);
+      miro_error.add(target);
+      deagg_error.add(target);
+      prepend_error.add(target);
+      continue;
+    }
+    // The loaded link we want to unload and the share of the rest.
+    auto loaded = std::max_element(
+        before.begin(), before.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    const NodeId loaded_link = loaded->first;
+    const double loaded_share =
+        static_cast<double>(loaded->second) / static_cast<double>(total);
+
+    // --- MIRO: best power node, strict policy, independent model. ---
+    {
+      std::vector<std::size_t> traverse(graph.node_count(), 0);
+      for (NodeId s = 0; s < graph.node_count(); ++s) {
+        if (s == stub || !tree.reachable(s)) continue;
+        for (NodeId hop = tree.next_hop(s); hop != stub;
+             hop = tree.next_hop(hop))
+          ++traverse[hop];
+      }
+      std::vector<NodeId> candidates;
+      for (NodeId node = 0; node < graph.node_count(); ++node)
+        if (traverse[node] > 0) candidates.push_back(node);
+      std::sort(candidates.begin(), candidates.end(),
+                [&traverse](NodeId a, NodeId b) {
+                  if (traverse[a] != traverse[b])
+                    return traverse[a] > traverse[b];
+                  return a < b;
+                });
+      if (candidates.size() > config.power_node_candidates)
+        candidates.resize(config.power_node_candidates);
+      std::vector<double> menu;  // every shift some negotiation can produce
+      for (NodeId power : candidates) {
+        const NodeId old_ingress = tree.ingress_neighbor(power);
+        std::size_t tried = 0;
+        for (const bgp::Route& alt : solver.candidates_at(tree, power)) {
+          if (tried >= 2) break;
+          if (bgp::rank(alt.route_class) !=
+              bgp::rank(tree.route_class(power)))
+            continue;  // strict policy
+          const NodeId new_ingress = alt.path[alt.path.size() - 2];
+          if (new_ingress == old_ingress) continue;
+          ++tried;
+          const RoutingTree pinned = solver.solve_pinned(
+              stub, bgp::PinnedRoute{power, alt.path[1]});
+          std::size_t after_total = 0;
+          const auto after = ingress_split(graph, pinned, after_total);
+          auto it = after.find(new_ingress);
+          const double after_count =
+              it == after.end() ? 0 : static_cast<double>(it->second);
+          auto before_it = before.find(new_ingress);
+          const double before_count =
+              before_it == before.end()
+                  ? 0
+                  : static_cast<double>(before_it->second);
+          menu.push_back(std::max(0.0, after_count - before_count) /
+                         static_cast<double>(total));
+        }
+      }
+      miro_moved.add(menu.empty()
+                         ? 0
+                         : *std::max_element(menu.begin(), menu.end()));
+      miro_error.add(targeting_error(menu));
+    }
+
+    // --- Deaggregation: a /half more-specific via an underused provider.
+    // Uniform traffic over the address space: the subprefix carries half of
+    // every source's traffic, all of it now entering the chosen link.
+    // Announcing the half-space subprefix via a quiet link moves the
+    // subprefix half of every source that currently enters elsewhere; with
+    // the quiet link chosen opposite the loaded one, the shift onto it is
+    // half of the loaded link's share.
+    const double deagg_shift = 0.5 * loaded_share;
+    deagg_moved.add(deagg_shift);
+    deagg_error.add(targeting_error({deagg_shift}));
+
+    // --- Prepending toward the loaded provider: one knob, a few depths. ---
+    std::vector<double> prepend_menu;
+    for (std::size_t k = 0; k < config.prepend_depths.size(); ++k) {
+      const RoutingTree padded = solver.solve_prepended(
+          stub, bgp::OriginPrepend{loaded_link, config.prepend_depths[k]});
+      std::size_t after_total = 0;
+      const auto after = ingress_split(graph, padded, after_total);
+      auto it = after.find(loaded_link);
+      const double still_there =
+          it == after.end() ? 0 : static_cast<double>(it->second);
+      const double moved = std::max(
+          0.0, (static_cast<double>(loaded->second) - still_there) /
+                   static_cast<double>(total));
+      prepend_moved[k].add(moved);
+      prepend_menu.push_back(moved);
+    }
+    prepend_error.add(targeting_error(prepend_menu));
+  }
+
+  result.target_shift = target;
+  auto mechanism = [&](std::string name, const Summary& moved,
+                       const Summary& error, std::size_t state,
+                       std::string granularity) {
+    TeComparisonResult::Mechanism m;
+    m.name = std::move(name);
+    if (!moved.empty()) {
+      m.median_moved = moved.percentile(50);
+      m.p90_moved = moved.percentile(90);
+      m.fraction_at_least_10 = moved.fraction_at_least(0.10);
+    }
+    if (!error.empty()) m.median_targeting_error = error.percentile(50);
+    m.global_state_entries = state;
+    m.granularity = std::move(granularity);
+    return m;
+  };
+  result.mechanisms.push_back(mechanism("miro-tunnel", miro_moved,
+                                        miro_error, 2, "per negotiation"));
+  result.mechanisms.push_back(mechanism("deaggregate-half", deagg_moved,
+                                        deagg_error, graph.node_count(),
+                                        "halves of address space"));
+  for (std::size_t k = 0; k < config.prepend_depths.size(); ++k)
+    result.mechanisms.push_back(mechanism(
+        "prepend-x" + std::to_string(config.prepend_depths[k]),
+        prepend_moved[k], prepend_error, 0,
+        "whole prefix, policy-dependent"));
+  return result;
+}
+
+void print(const TeComparisonResult& result, std::ostream& out) {
+  out << "Ablation — inbound TE mechanisms for multi-homed stubs ["
+      << result.profile << ", " << result.stubs << " stubs]\n";
+  TextTable table({"mechanism", "median moved", "p90 moved", ">=10% stubs",
+                   "err@target " + TextTable::percent(result.target_shift, 0),
+                   "extra state (entries)", "granularity"});
+  for (const auto& m : result.mechanisms) {
+    table.add_row({m.name, TextTable::percent(m.median_moved),
+                   TextTable::percent(m.p90_moved),
+                   TextTable::percent(m.fraction_at_least_10),
+                   TextTable::percent(m.median_targeting_error),
+                   std::to_string(m.global_state_entries), m.granularity});
+  }
+  table.print(out);
+  out << "(deaggregation buys control by putting one more prefix into every "
+         "AS's table; prepending is free but local-preference decisions "
+         "ignore it; MIRO's state lives only at the two negotiating ASes)\n";
+}
+
+}  // namespace miro::eval

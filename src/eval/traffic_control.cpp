@@ -1,0 +1,211 @@
+#include "eval/traffic_control.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "topology/metrics.hpp"
+
+namespace miro::eval {
+namespace {
+
+/// Per-destination traffic view under uniform unit traffic per source.
+struct TrafficView {
+  std::vector<std::size_t> ingress_count;   // per ingress neighbor (node id)
+  std::vector<std::size_t> traverse_count;  // sources whose path crosses node
+  std::size_t total = 0;
+};
+
+TrafficView measure(const AsGraph& graph, const RoutingTree& tree) {
+  TrafficView view;
+  view.ingress_count.assign(graph.node_count(), 0);
+  view.traverse_count.assign(graph.node_count(), 0);
+  for (NodeId source = 0; source < graph.node_count(); ++source) {
+    if (source == tree.destination() || !tree.reachable(source)) continue;
+    ++view.total;
+    // Walk the next-hop chain once, crediting every transit AS and the final
+    // ingress neighbor.
+    NodeId current = source;
+    while (true) {
+      const NodeId next = tree.next_hop(current);
+      if (next == tree.destination()) {
+        ++view.ingress_count[current];
+        break;
+      }
+      ++view.traverse_count[next];
+      current = next;
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
+                                         const TrafficControlConfig& config) {
+  TrafficControlResult result;
+  result.profile = plan.config().profile;
+  result.thresholds = {0.05, 0.10, 0.15, 0.25, 0.35, 0.50};
+
+  const AsGraph& graph = plan.graph();
+  const StableRouteSolver& solver = plan.solver();
+
+  // Sample multi-homed stubs deterministically.
+  std::vector<NodeId> stubs;
+  for (NodeId node = 0; node < graph.node_count(); ++node)
+    if (graph.is_multi_homed_stub(node)) stubs.push_back(node);
+  Rng rng(plan.config().seed ^ 0x7aff1cULL);
+  rng.shuffle(stubs);
+  if (stubs.size() > config.stub_samples) stubs.resize(config.stub_samples);
+  result.stubs_evaluated = stubs.size();
+
+  // High-degree cut for the power-node analysis: the top 0.2% by degree
+  // (the paper's "more than 200 neighbors" ASes).
+  const auto by_degree = topo::nodes_by_degree_descending(graph);
+  std::vector<bool> top_degree(graph.node_count(), false);
+  const std::size_t top_count =
+      std::max<std::size_t>(1, graph.node_count() / 500);
+  for (std::size_t i = 0; i < top_count; ++i) top_degree[by_degree[i]] = true;
+
+  struct Key {
+    core::ExportPolicy policy;
+    bool convert_all;
+  };
+  const Key keys[] = {{core::ExportPolicy::Strict, true},
+                      {core::ExportPolicy::Strict, false},
+                      {core::ExportPolicy::Flexible, true},
+                      {core::ExportPolicy::Flexible, false}};
+  Summary best_move[4];
+
+  std::size_t best_power_top_degree = 0;
+  std::size_t best_power_neighbor = 0;
+  std::size_t best_power_two_hop = 0;
+  std::size_t stubs_with_power = 0;
+
+  for (NodeId stub : stubs) {
+    const RoutingTree tree = solver.solve(stub);
+    const TrafficView view = measure(graph, tree);
+    if (view.total == 0) {
+      for (auto& summary : best_move) summary.add(0);
+      continue;
+    }
+
+    // Candidate power nodes: the ASes most default paths traverse.
+    std::vector<NodeId> candidates;
+    for (NodeId node = 0; node < graph.node_count(); ++node)
+      if (view.traverse_count[node] > 0) candidates.push_back(node);
+    std::sort(candidates.begin(), candidates.end(),
+              [&view](NodeId a, NodeId b) {
+                if (view.traverse_count[a] != view.traverse_count[b])
+                  return view.traverse_count[a] > view.traverse_count[b];
+                return a < b;
+              });
+    if (candidates.size() > config.power_node_candidates)
+      candidates.resize(config.power_node_candidates);
+
+    double best[4] = {0, 0, 0, 0};
+    NodeId best_power_node = topo::kInvalidNode;
+
+    for (NodeId power : candidates) {
+      if (power == stub || !tree.reachable(power)) continue;
+      const NodeId old_ingress = tree.ingress_neighbor(power);
+      const bgp::RouteClass current_class = tree.route_class(power);
+      // Sources the power node controls in the convert_all model: everyone
+      // routing through it, plus its own unit of traffic.
+      const double convert_share =
+          static_cast<double>(view.traverse_count[power] + 1) /
+          static_cast<double>(view.total);
+
+      std::size_t alternates_tried = 0;
+      for (const bgp::Route& alt : solver.candidates_at(tree, power)) {
+        if (alternates_tried >= config.alternates_per_power_node) break;
+        const NodeId new_ingress = alt.path[alt.path.size() - 2];
+        if (new_ingress == old_ingress) continue;  // same incoming link
+        ++alternates_tried;
+
+        // Independent re-selection, shared by both policies: pin the power
+        // node to the alternate and let everyone else re-choose.
+        const RoutingTree pinned =
+            solver.solve_pinned(stub, bgp::PinnedRoute{power, alt.path[1]});
+        const TrafficView after = measure(graph, pinned);
+        const double delta =
+            static_cast<double>(after.ingress_count[new_ingress]) -
+            static_cast<double>(view.ingress_count[new_ingress]);
+        const double independent_share =
+            std::max(0.0, delta / static_cast<double>(view.total));
+
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (keys[k].policy == core::ExportPolicy::Strict &&
+              bgp::rank(alt.route_class) != bgp::rank(current_class))
+            continue;  // strict: only same-class alternates
+          const double moved =
+              keys[k].convert_all ? convert_share : independent_share;
+          if (moved > best[k]) {
+            best[k] = moved;
+            if (k == 0) best_power_node = power;  // strict/convert series
+          }
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < 4; ++k) best_move[k].add(best[k]);
+    if (best_power_node != topo::kInvalidNode) {
+      ++stubs_with_power;
+      if (top_degree[best_power_node]) ++best_power_top_degree;
+      if (graph.has_edge(stub, best_power_node)) ++best_power_neighbor;
+      if (tree.path_length(best_power_node) == 2) ++best_power_two_hop;
+    }
+  }
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    TrafficControlResult::Series series;
+    series.policy = keys[k].policy;
+    series.convert_all = keys[k].convert_all;
+    for (double threshold : result.thresholds)
+      series.stub_fraction.push_back(
+          best_move[k].empty() ? 0
+                               : best_move[k].fraction_at_least(threshold));
+    series.median_best_move =
+        best_move[k].empty() ? 0 : best_move[k].percentile(50);
+    result.series.push_back(std::move(series));
+  }
+  if (stubs_with_power > 0) {
+    const auto denominator = static_cast<double>(stubs_with_power);
+    result.power_top_degree_fraction =
+        static_cast<double>(best_power_top_degree) / denominator;
+    result.power_neighbor_fraction =
+        static_cast<double>(best_power_neighbor) / denominator;
+    result.power_two_hop_fraction =
+        static_cast<double>(best_power_two_hop) / denominator;
+  }
+  return result;
+}
+
+void print(const TrafficControlResult& result, std::ostream& out) {
+  out << "Figures 5.6/5.7 — multi-homed stubs with a power node that can "
+         "move >= X of inbound traffic [" << result.profile << ", "
+      << result.stubs_evaluated << " stubs]\n";
+  std::vector<std::string> header{"policy", "model"};
+  for (double threshold : result.thresholds)
+    header.push_back(">=" + TextTable::percent(threshold, 0));
+  header.push_back("median-best");
+  TextTable table(header);
+  for (const auto& series : result.series) {
+    std::vector<std::string> row{core::to_string(series.policy),
+                                 series.convert_all ? "convert"
+                                                    : "independent"};
+    for (double fraction : series.stub_fraction)
+      row.push_back(TextTable::percent(fraction, 0));
+    row.push_back(TextTable::percent(series.median_best_move, 1));
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+  out << "power nodes: " << TextTable::percent(result.power_top_degree_fraction)
+      << " top-degree, " << TextTable::percent(result.power_neighbor_fraction)
+      << " immediate neighbors of the stub, "
+      << TextTable::percent(result.power_two_hop_fraction)
+      << " exactly two hops away\n";
+}
+
+}  // namespace miro::eval

@@ -1,0 +1,55 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace miro::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (auto part : parts) {
+    auto octet = parse_u64(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buffer[20];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buffer;
+}
+
+Prefix::Prefix(Ipv4Address address, int length) : length_(length) {
+  require(length >= 0 && length <= 32, "Prefix: length outside [0,32]");
+  address_ = Ipv4Address(address.value() & mask_of_length(length));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto parts = split(text, '/');
+  if (parts.size() != 2) return std::nullopt;
+  auto address = Ipv4Address::parse(parts[0]);
+  auto length = parse_u64(parts[1]);
+  if (!address || !length || *length > 32) return std::nullopt;
+  return Prefix(*address, static_cast<int>(*length));
+}
+
+bool Prefix::contains(Ipv4Address ip) const {
+  return (ip.value() & mask_of_length(length_)) == address_.value();
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.address_);
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace miro::net

@@ -1,0 +1,72 @@
+// IPv4 address and prefix value types.
+//
+// MIRO's data plane is simulated at IPv4 granularity: each AS originates one
+// or more prefixes (Section 1.1), routers forward on longest-prefix match,
+// and tunnels encapsulate with IP-in-IP (Section 4.2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace miro::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length). The address is stored canonical:
+/// bits beyond the mask are zero.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Address address, int length);
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Address address() const { return address_; }
+  constexpr int length() const { return length_; }
+
+  /// True when `ip` falls inside this prefix.
+  bool contains(Ipv4Address ip) const;
+
+  /// True when `other` is fully contained in this prefix.
+  bool covers(const Prefix& other) const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+/// Mask with the top `length` bits set.
+constexpr std::uint32_t mask_of_length(int length) {
+  return length == 0 ? 0u : (~0u << (32 - length));
+}
+
+}  // namespace miro::net

@@ -1,0 +1,78 @@
+// Simulated packets with stackable IP headers.
+//
+// MIRO forwards most traffic natively but diverts tunneled traffic with
+// IP-in-IP encapsulation plus a tunnel-identifier shim (Sections 3.5, 4.2).
+// A packet therefore carries a stack of IP headers; encapsulation pushes a
+// header, decapsulation pops one. "A data packet can be encapsulated in
+// several layers of IP headers, resulting in a tunnel inside another tunnel."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace miro::net {
+
+/// Identifier a downstream AS assigns to one of its tunnels. "this identifier
+/// does not need to be globally unique, it only has to be unique in the
+/// downstream AS" (Section 3.5).
+using TunnelId = std::uint32_t;
+
+/// One IP header level. The optional tunnel id models the shim the egress
+/// router reads to pick the exit link under directed forwarding.
+struct IpHeader {
+  Ipv4Address source;
+  Ipv4Address destination;
+  std::optional<TunnelId> tunnel_id;
+};
+
+/// Transport-level fields used by traffic classifiers and flow hashing.
+struct FlowLabel {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint8_t protocol = 6;        // TCP by default
+  std::uint8_t type_of_service = 0;
+};
+
+/// A simulated data packet: the innermost header is the original one; the
+/// encapsulation stack grows outward.
+class Packet {
+ public:
+  Packet(Ipv4Address source, Ipv4Address destination, FlowLabel flow = {});
+
+  /// Outermost header — what routers forward on.
+  const IpHeader& outer() const { return headers_.back(); }
+  /// Original (innermost) header.
+  const IpHeader& inner() const { return headers_.front(); }
+  const FlowLabel& flow() const { return flow_; }
+
+  std::size_t encapsulation_depth() const { return headers_.size() - 1; }
+
+  /// Pushes an encapsulating header (IP-in-IP), optionally tagged with a
+  /// tunnel id for directed forwarding at the tunnel egress.
+  void encapsulate(Ipv4Address tunnel_source, Ipv4Address tunnel_destination,
+                   std::optional<TunnelId> tunnel_id = std::nullopt);
+
+  /// Pops the outermost header; throws if the packet is not encapsulated.
+  void decapsulate();
+
+  /// Rewrites the outermost destination (used by the single-reserved-address
+  /// scheme where the ingress router swaps in the egress router's address).
+  void rewrite_outer_destination(Ipv4Address destination);
+
+  /// Stable 64-bit hash of the inner flow 5-tuple, for splitting traffic
+  /// across multiple paths ("applying a hash function that maps a traffic
+  /// flow to a path", Section 3.5).
+  std::uint64_t flow_hash() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<IpHeader> headers_;
+  FlowLabel flow_;
+};
+
+}  // namespace miro::net

@@ -1,0 +1,123 @@
+// Longest-prefix-match forwarding table.
+//
+// "each IP router forwards a packet by performing a longest-prefix match on
+// the destination IP address" (Section 2.1.1). Implemented as a binary trie
+// keyed on prefix bits; lookups walk at most 32 levels and remember the last
+// node that carried a value.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace miro::net {
+
+/// Binary trie mapping prefixes to values of type T with longest-prefix-match
+/// lookup. T must be copyable.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value for `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Removes the entry for `prefix`; returns true when it existed.
+  /// (Nodes are not pruned; the trie is small and rebuilt per scenario.)
+  bool erase(const Prefix& prefix) {
+    Node* node = walk_to(prefix, /*create=*/false);
+    if (node == nullptr || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup for one prefix entry.
+  const T* find_exact(const Prefix& prefix) const {
+    const Node* node = walk_to_const(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix-match lookup for a destination address, together with
+  /// the matching prefix length. Returns nullopt when nothing matches.
+  struct Match {
+    const T* value;
+    int prefix_length;
+  };
+  std::optional<Match> lookup(Ipv4Address ip) const {
+    const Node* node = root_.get();
+    std::optional<Match> best;
+    if (node->value) best = Match{&*node->value, 0};
+    std::uint32_t bits = ip.value();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) best = Match{&*node->value, depth + 1};
+    }
+    return best;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    visit_node(root_.get(), 0, 0, visit);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* walk_to(const Prefix& prefix, bool create) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      if (node->child[bit] == nullptr) {
+        if (!create) return nullptr;
+        node->child[bit] = std::make_unique<Node>();
+      }
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  const Node* walk_to_const(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  template <typename Visitor>
+  static void visit_node(const Node* node, std::uint32_t bits, int depth,
+                         Visitor& visit) {
+    if (node == nullptr) return;
+    if (node->value) visit(Prefix(Ipv4Address(bits), depth), *node->value);
+    if (depth < 32) {
+      visit_node(node->child[0].get(), bits, depth + 1, visit);
+      visit_node(node->child[1].get(), bits | (1u << (31 - depth)), depth + 1,
+                 visit);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace miro::net

@@ -1,0 +1,88 @@
+// Typed point-to-point message delivery over the scheduler.
+//
+// Models the persistent control-plane sessions between MIRO speakers: ordered
+// delivery with a per-link propagation delay, and an optional link-down state
+// (used to exercise the soft-state keep-alive teardown: "when A can no longer
+// reach B, the active tunnel tear-down message itself may not be able to
+// reach AS B", Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::sim {
+
+/// Endpoint identifier — the MIRO control plane uses the dense AS node id.
+using EndpointId = std::uint32_t;
+
+template <typename Message>
+class MessageBus {
+ public:
+  using Handler = std::function<void(EndpointId from, const Message&)>;
+
+  explicit MessageBus(Scheduler& scheduler, Time default_delay = 10)
+      : scheduler_(&scheduler), default_delay_(default_delay) {}
+
+  /// Registers the receive handler for an endpoint (replacing any previous).
+  void attach(EndpointId endpoint, Handler handler) {
+    require(static_cast<bool>(handler), "MessageBus::attach: empty handler");
+    handlers_[endpoint] = std::move(handler);
+  }
+
+  /// Sends a message; it is delivered after the pair's delay unless the
+  /// pair's link is down. Messages to unattached endpoints are dropped.
+  void send(EndpointId from, EndpointId to, Message message) {
+    if (is_down(from, to)) return;  // lost: the link is partitioned
+    const Time delay = delay_of(from, to);
+    scheduler_->after(delay, [this, from, to, msg = std::move(message)]() {
+      if (is_down(from, to)) return;  // partitioned while in flight
+      auto it = handlers_.find(to);
+      if (it != handlers_.end()) it->second(from, msg);
+    });
+  }
+
+  /// Sets the propagation delay between two endpoints (both directions).
+  void set_delay(EndpointId a, EndpointId b, Time delay) {
+    delays_[key(a, b)] = delay;
+  }
+
+  /// Partitions or heals the link between two endpoints.
+  void set_link_down(EndpointId a, EndpointId b, bool down) {
+    if (down) {
+      down_.insert(key(a, b));
+    } else {
+      down_.erase(key(a, b));
+    }
+  }
+
+  bool is_down(EndpointId a, EndpointId b) const {
+    return down_.count(key(a, b)) != 0;
+  }
+
+  Scheduler& scheduler() { return *scheduler_; }
+
+ private:
+  /// Order-independent pair key (links are symmetric).
+  static std::uint64_t key(EndpointId a, EndpointId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  Time delay_of(EndpointId a, EndpointId b) const {
+    auto it = delays_.find(key(a, b));
+    return it == delays_.end() ? default_delay_ : it->second;
+  }
+
+  Scheduler* scheduler_;
+  Time default_delay_;
+  std::unordered_map<EndpointId, Handler> handlers_;
+  std::unordered_map<std::uint64_t, Time> delays_;
+  std::unordered_set<std::uint64_t> down_;
+};
+
+}  // namespace miro::sim

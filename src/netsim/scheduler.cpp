@@ -1,0 +1,46 @@
+#include "netsim/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace miro::sim {
+
+Scheduler::TimerToken Scheduler::at(Time t, Callback callback) {
+  require(t >= now_, "Scheduler::at: cannot schedule in the past");
+  require(static_cast<bool>(callback), "Scheduler::at: empty callback");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{t, next_sequence_++, std::move(callback), alive});
+  return TimerToken(std::move(alive));
+}
+
+bool Scheduler::run_one() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    if (!*event.alive) continue;  // cancelled
+    *event.alive = false;         // mark fired
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(Time t) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (run_one()) ++executed;
+  }
+  if (now_ < t) now_ = t;
+  return executed;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (run_one()) {
+    require(++executed <= max_events,
+            "Scheduler::run_all: event budget exhausted (runaway simulation?)");
+  }
+  return executed;
+}
+
+}  // namespace miro::sim

@@ -1,0 +1,231 @@
+#include "policy/aspath_regex.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace miro::policy {
+
+namespace {
+[[noreturn]] void syntax_error(std::string_view pattern,
+                               std::string_view why) {
+  throw Error("AsPathRegex: " + std::string(why) + " in pattern '" +
+              std::string(pattern) + "'");
+}
+}  // namespace
+
+bool AsPathRegex::Transition::accepts_char(char c) const {
+  if (kind != Kind::CharClass) return false;
+  if (any) return true;
+  const bool in_class = chars.find(c) != std::string::npos;
+  return negated ? !in_class : in_class;
+}
+
+std::uint32_t AsPathRegex::new_state() {
+  states_.emplace_back();
+  return static_cast<std::uint32_t>(states_.size() - 1);
+}
+
+void AsPathRegex::link(std::uint32_t from, Transition transition) {
+  states_[from].out.push_back(std::move(transition));
+}
+
+AsPathRegex::AsPathRegex(std::string_view pattern)
+    : pattern_(pattern) {
+  std::string_view input = pattern;
+  Fragment fragment = parse_alternation(input);
+  if (!input.empty()) syntax_error(pattern_, "unexpected ')'");
+  start_state_ = fragment.start;
+  accept_state_ = fragment.end;
+}
+
+AsPathRegex::Fragment AsPathRegex::parse_alternation(std::string_view& input) {
+  Fragment first = parse_concat(input);
+  if (input.empty() || input.front() != '|') return first;
+  const std::uint32_t start = new_state();
+  const std::uint32_t end = new_state();
+  auto attach = [&](const Fragment& f) {
+    link(start, {Transition::Kind::Epsilon, false, false, "", f.start});
+    link(f.end, {Transition::Kind::Epsilon, false, false, "", end});
+  };
+  attach(first);
+  while (!input.empty() && input.front() == '|') {
+    input.remove_prefix(1);
+    attach(parse_concat(input));
+  }
+  return {start, end};
+}
+
+AsPathRegex::Fragment AsPathRegex::parse_concat(std::string_view& input) {
+  Fragment result{new_state(), 0};
+  result.end = result.start;  // empty concatenation
+  while (!input.empty() && input.front() != '|' && input.front() != ')') {
+    Fragment next = parse_repeat(input);
+    link(result.end, {Transition::Kind::Epsilon, false, false, "",
+                      next.start});
+    result.end = next.end;
+  }
+  return result;
+}
+
+AsPathRegex::Fragment AsPathRegex::parse_repeat(std::string_view& input) {
+  Fragment atom = parse_atom(input);
+  while (!input.empty() &&
+         (input.front() == '*' || input.front() == '+' ||
+          input.front() == '?')) {
+    const char op = input.front();
+    input.remove_prefix(1);
+    const std::uint32_t start = new_state();
+    const std::uint32_t end = new_state();
+    link(start, {Transition::Kind::Epsilon, false, false, "", atom.start});
+    if (op == '*' || op == '?')
+      link(start, {Transition::Kind::Epsilon, false, false, "", end});
+    if (op == '*' || op == '+')
+      link(atom.end,
+           {Transition::Kind::Epsilon, false, false, "", atom.start});
+    link(atom.end, {Transition::Kind::Epsilon, false, false, "", end});
+    atom = {start, end};
+  }
+  return atom;
+}
+
+AsPathRegex::Fragment AsPathRegex::parse_atom(std::string_view& input) {
+  if (input.empty()) syntax_error(pattern_, "dangling operator");
+  const char c = input.front();
+  if (c == '(') {
+    input.remove_prefix(1);
+    Fragment inner = parse_alternation(input);
+    if (input.empty() || input.front() != ')')
+      syntax_error(pattern_, "unbalanced '('");
+    input.remove_prefix(1);
+    return inner;
+  }
+  const std::uint32_t start = new_state();
+  const std::uint32_t end = new_state();
+  Transition t;
+  t.target = end;
+  input.remove_prefix(1);
+  switch (c) {
+    case '_': t.kind = Transition::Kind::Boundary; break;
+    case '^': t.kind = Transition::Kind::StartAnchor; break;
+    case '$': t.kind = Transition::Kind::EndAnchor; break;
+    case '.':
+      t.kind = Transition::Kind::CharClass;
+      t.any = true;
+      break;
+    case '[': {
+      t.kind = Transition::Kind::CharClass;
+      if (!input.empty() && input.front() == '^') {
+        t.negated = true;
+        input.remove_prefix(1);
+      }
+      bool closed = false;
+      while (!input.empty()) {
+        const char member = input.front();
+        input.remove_prefix(1);
+        if (member == ']') {
+          closed = true;
+          break;
+        }
+        if (!input.empty() && input.front() == '-' && input.size() >= 2 &&
+            input[1] != ']') {
+          const char upper = input[1];
+          input.remove_prefix(2);
+          if (member > upper) syntax_error(pattern_, "bad range in class");
+          for (char x = member; x <= upper; ++x) t.chars.push_back(x);
+        } else {
+          t.chars.push_back(member);
+        }
+      }
+      if (!closed) syntax_error(pattern_, "unbalanced '['");
+      break;
+    }
+    case '\\': {
+      if (input.empty()) syntax_error(pattern_, "dangling escape");
+      t.kind = Transition::Kind::CharClass;
+      t.chars.push_back(input.front());
+      input.remove_prefix(1);
+      break;
+    }
+    case ')':
+    case '*':
+    case '+':
+    case '?':
+      syntax_error(pattern_, "misplaced operator");
+    default:
+      t.kind = Transition::Kind::CharClass;
+      t.chars.push_back(c);
+      break;
+  }
+  link(start, std::move(t));
+  return {start, end};
+}
+
+std::string AsPathRegex::render(const std::vector<topo::AsNumber>& as_path) {
+  std::string text;
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i > 0) text += ' ';
+    text += std::to_string(as_path[i]);
+  }
+  return text;
+}
+
+bool AsPathRegex::matches(const std::vector<topo::AsNumber>& as_path) const {
+  return matches_text(render(as_path));
+}
+
+bool AsPathRegex::matches_text(std::string_view text) const {
+  const std::size_t len = text.size();
+  auto at_boundary = [&](std::size_t pos) {
+    if (pos == 0 || pos == len) return true;
+    return text[pos] == ' ' || text[pos - 1] == ' ';
+  };
+
+  std::vector<char> current(states_.size(), 0);
+  std::vector<char> next(states_.size(), 0);
+  std::vector<std::uint32_t> stack;
+
+  // Epsilon/assertion closure at a given position.
+  auto close = [&](std::vector<char>& set, std::size_t pos) {
+    stack.clear();
+    for (std::uint32_t s = 0; s < set.size(); ++s)
+      if (set[s]) stack.push_back(s);
+    while (!stack.empty()) {
+      const std::uint32_t s = stack.back();
+      stack.pop_back();
+      for (const Transition& t : states_[s].out) {
+        bool traversable = false;
+        switch (t.kind) {
+          case Transition::Kind::Epsilon: traversable = true; break;
+          case Transition::Kind::Boundary:
+            traversable = at_boundary(pos);
+            break;
+          case Transition::Kind::StartAnchor: traversable = pos == 0; break;
+          case Transition::Kind::EndAnchor: traversable = pos == len; break;
+          case Transition::Kind::CharClass: break;
+        }
+        if (traversable && !set[t.target]) {
+          set[t.target] = 1;
+          stack.push_back(t.target);
+        }
+      }
+    }
+  };
+
+  for (std::size_t pos = 0; pos <= len; ++pos) {
+    current[start_state_] = 1;  // substring semantics: restart anywhere
+    close(current, pos);
+    if (current[accept_state_]) return true;
+    if (pos == len) break;
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t s = 0; s < states_.size(); ++s) {
+      if (!current[s]) continue;
+      for (const Transition& t : states_[s].out)
+        if (t.accepts_char(text[pos])) next[t.target] = 1;
+    }
+    current.swap(next);
+  }
+  return false;
+}
+
+}  // namespace miro::policy

@@ -1,0 +1,88 @@
+// Cisco-style AS-path regular expressions.
+//
+// BGP operators filter routes with regexes over the textual AS path, e.g.
+// `_312_` = "AS 312 appears anywhere in the path" (the dissertation's
+// route-map and access-list examples in Chapter 6). This is a from-scratch
+// Thompson-NFA engine over the rendered AS-path string with the classic
+// Cisco token set:
+//
+//   _        boundary assertion: start, end, or next to the separator
+//            between AS numbers
+//   .        any single character
+//   [0-9]    character class (ranges; negation with leading ^)
+//   ^  $     start / end anchors
+//   ( | )    grouping and alternation
+//   * + ?    postfix repetition
+//   1234     literal digits (an AS number is matched digit-by-digit; wrap in
+//            `_..._` to match a whole AS number)
+//
+// A match anywhere in the string succeeds (substring semantics, as in Cisco);
+// use ^/$ to anchor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace miro::policy {
+
+class AsPathRegex {
+ public:
+  /// Compiles the pattern; throws miro::Error on syntax errors.
+  explicit AsPathRegex(std::string_view pattern);
+
+  /// Matches against an AS path given as numbers (rendered "1 2 3").
+  bool matches(const std::vector<topo::AsNumber>& as_path) const;
+
+  /// Matches against a pre-rendered AS-path string.
+  bool matches_text(std::string_view as_path_text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// Renders an AS path the way the matcher sees it.
+  static std::string render(const std::vector<topo::AsNumber>& as_path);
+
+ private:
+  struct Transition {
+    enum class Kind : std::uint8_t {
+      Epsilon,      // always traversable, zero width
+      Boundary,     // `_`: zero width, at a boundary position
+      StartAnchor,  // `^`: zero width, position 0
+      EndAnchor,    // `$`: zero width, end of text
+      CharClass,    // consumes one character
+    };
+    Kind kind = Kind::Epsilon;
+    bool negated = false;
+    bool any = false;    // `.`
+    std::string chars;   // explicit class members
+    std::uint32_t target = 0;
+
+    bool accepts_char(char c) const;
+  };
+  struct State {
+    std::vector<Transition> out;
+  };
+
+  struct Fragment {
+    std::uint32_t start;
+    std::uint32_t end;  // unique exit state; gets no outgoing edges until
+                        // the enclosing construct patches it
+  };
+
+  Fragment parse_alternation(std::string_view& input);
+  Fragment parse_concat(std::string_view& input);
+  Fragment parse_repeat(std::string_view& input);
+  Fragment parse_atom(std::string_view& input);
+  std::uint32_t new_state();
+  void link(std::uint32_t from, Transition transition);
+
+  std::string pattern_;
+  std::vector<State> states_;
+  std::uint32_t start_state_ = 0;
+  std::uint32_t accept_state_ = 0;
+};
+
+}  // namespace miro::policy

@@ -1,0 +1,112 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+
+namespace miro::topo {
+
+const char* to_string(Relationship rel) {
+  switch (rel) {
+    case Relationship::Customer: return "customer";
+    case Relationship::Provider: return "provider";
+    case Relationship::Peer: return "peer";
+    case Relationship::Sibling: return "sibling";
+  }
+  return "?";
+}
+
+NodeId AsGraph::add_as(AsNumber asn) {
+  require(index_.find(asn) == index_.end(), "AsGraph::add_as: duplicate ASN");
+  NodeId id = static_cast<NodeId>(as_numbers_.size());
+  as_numbers_.push_back(asn);
+  adjacency_.emplace_back();
+  index_.emplace(asn, id);
+  return id;
+}
+
+void AsGraph::add_half_edges(NodeId a, NodeId b, Relationship rel_of_b_to_a) {
+  check_node(a);
+  check_node(b);
+  require(a != b, "AsGraph: self-loops are not allowed");
+  require(!has_edge(a, b), "AsGraph: parallel edges are not allowed");
+  adjacency_[a].push_back({b, rel_of_b_to_a});
+  adjacency_[b].push_back({a, reverse(rel_of_b_to_a)});
+  ++edge_count_;
+}
+
+void AsGraph::add_customer_provider(NodeId provider, NodeId customer) {
+  add_half_edges(provider, customer, Relationship::Customer);
+}
+
+void AsGraph::add_peer(NodeId a, NodeId b) {
+  add_half_edges(a, b, Relationship::Peer);
+}
+
+void AsGraph::add_sibling(NodeId a, NodeId b) {
+  add_half_edges(a, b, Relationship::Sibling);
+}
+
+NodeId AsGraph::find(AsNumber asn) const {
+  auto it = index_.find(asn);
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+NodeId AsGraph::require_node(AsNumber asn) const {
+  NodeId id = find(asn);
+  require(id != kInvalidNode, "AsGraph: unknown AS number");
+  return id;
+}
+
+bool AsGraph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  // Scan the smaller adjacency list.
+  NodeId from = a, to = b;
+  if (adjacency_[b].size() < adjacency_[a].size()) std::swap(from, to);
+  for (const Neighbor& n : adjacency_[from])
+    if (n.node == to) return true;
+  return false;
+}
+
+Relationship AsGraph::relationship(NodeId a, NodeId b) const {
+  check_node(a);
+  for (const Neighbor& n : adjacency_[a])
+    if (n.node == b) return n.rel;
+  throw Error("AsGraph::relationship: no such edge");
+}
+
+std::vector<NodeId> AsGraph::neighbors_with(NodeId id, Relationship rel) const {
+  check_node(id);
+  std::vector<NodeId> out;
+  for (const Neighbor& n : adjacency_[id])
+    if (n.rel == rel) out.push_back(n.node);
+  return out;
+}
+
+AsGraph::EdgeCounts AsGraph::edge_counts() const {
+  EdgeCounts counts;
+  for (NodeId id = 0; id < as_numbers_.size(); ++id) {
+    for (const Neighbor& n : adjacency_[id]) {
+      if (n.rel == Relationship::Customer) ++counts.customer_provider;
+      if (n.rel == Relationship::Peer && n.node > id) ++counts.peer;
+      if (n.rel == Relationship::Sibling && n.node > id) ++counts.sibling;
+    }
+  }
+  return counts;
+}
+
+bool AsGraph::is_stub(NodeId id) const {
+  check_node(id);
+  for (const Neighbor& n : adjacency_[id])
+    if (n.rel != Relationship::Provider) return false;
+  return !adjacency_[id].empty();
+}
+
+bool AsGraph::is_multi_homed_stub(NodeId id) const {
+  if (!is_stub(id)) return false;
+  std::size_t providers = 0;
+  for (const Neighbor& n : adjacency_[id])
+    if (n.rel == Relationship::Provider) ++providers;
+  return providers >= 2;
+}
+
+}  // namespace miro::topo

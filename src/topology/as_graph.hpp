@@ -1,0 +1,114 @@
+// AS-level topology annotated with business relationships.
+//
+// "Today's Internet is a loose federation of ASes" (Section 2.2.1). Edges
+// carry one of the three prevalent relationships: customer-provider, peer, or
+// sibling. The evaluation chapter's experiments all run over this graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace miro::topo {
+
+/// A 16/32-bit Autonomous System number as registered publicly.
+using AsNumber = std::uint32_t;
+
+/// Dense internal node index; all algorithms run on these.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// What a neighbor is *to me*: my customer, my provider, my peer, or my
+/// sibling. Stored per directed half-edge, so the two halves of one
+/// customer-provider link carry Customer on the provider side and Provider on
+/// the customer side.
+enum class Relationship : std::uint8_t { Customer, Provider, Peer, Sibling };
+
+/// The reverse perspective of a relationship.
+constexpr Relationship reverse(Relationship rel) {
+  switch (rel) {
+    case Relationship::Customer: return Relationship::Provider;
+    case Relationship::Provider: return Relationship::Customer;
+    case Relationship::Peer: return Relationship::Peer;
+    case Relationship::Sibling: return Relationship::Sibling;
+  }
+  return Relationship::Peer;
+}
+
+const char* to_string(Relationship rel);
+
+/// A directed half-edge as seen from the owning node.
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  Relationship rel = Relationship::Peer;
+};
+
+/// Undirected, relationship-annotated AS graph. Construction is append-only;
+/// the evaluation code freezes a graph once built.
+class AsGraph {
+ public:
+  /// Adds an AS; returns its dense node id. Duplicate AS numbers throw.
+  NodeId add_as(AsNumber asn);
+
+  /// Adds a customer-provider link (provider earns the Customer half-edge).
+  void add_customer_provider(NodeId provider, NodeId customer);
+  /// Adds a peer-peer link.
+  void add_peer(NodeId a, NodeId b);
+  /// Adds a sibling link (mutual transit, typically one institution).
+  void add_sibling(NodeId a, NodeId b);
+
+  std::size_t node_count() const { return as_numbers_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  AsNumber as_number(NodeId id) const { return as_numbers_[id]; }
+  /// Dense id for an AS number; kInvalidNode when unknown.
+  NodeId find(AsNumber asn) const;
+  /// Dense id for an AS number; throws when unknown.
+  NodeId require_node(AsNumber asn) const;
+
+  std::span<const Neighbor> neighbors(NodeId id) const {
+    return adjacency_[id];
+  }
+  std::size_t degree(NodeId id) const { return adjacency_[id].size(); }
+
+  /// True when an edge (of any relationship) exists between a and b.
+  bool has_edge(NodeId a, NodeId b) const;
+  /// The relationship of b as seen from a; throws when no edge exists.
+  Relationship relationship(NodeId a, NodeId b) const;
+
+  /// Providers / customers / peers / siblings of `id` (filtered view, copies).
+  std::vector<NodeId> neighbors_with(NodeId id, Relationship rel) const;
+
+  /// Number of edges of each relationship kind (counting each link once;
+  /// customer-provider counted on the provider side).
+  struct EdgeCounts {
+    std::size_t customer_provider = 0;
+    std::size_t peer = 0;
+    std::size_t sibling = 0;
+  };
+  EdgeCounts edge_counts() const;
+
+  /// A stub AS only acts as a customer (no customers, no peers, no siblings);
+  /// these are the "leaf nodes" of Chapter 7.
+  bool is_stub(NodeId id) const;
+  /// Multi-homed: connected to more than one provider.
+  bool is_multi_homed_stub(NodeId id) const;
+
+ private:
+  void check_node(NodeId id) const {
+    require(id < as_numbers_.size(), "AsGraph: node id out of range");
+  }
+  void add_half_edges(NodeId a, NodeId b, Relationship rel_of_b_to_a);
+
+  std::vector<AsNumber> as_numbers_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::unordered_map<AsNumber, NodeId> index_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace miro::topo

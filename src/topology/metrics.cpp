@@ -1,0 +1,63 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+
+namespace miro::topo {
+
+TopologySummary summarize(const AsGraph& graph) {
+  TopologySummary s;
+  s.nodes = graph.node_count();
+  s.edges = graph.edge_count();
+  const auto counts = graph.edge_counts();
+  s.customer_provider_links = counts.customer_provider;
+  s.peer_links = counts.peer;
+  s.sibling_links = counts.sibling;
+  std::size_t degree_total = 0;
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (graph.is_stub(id)) {
+      ++s.stub_count;
+      if (graph.is_multi_homed_stub(id)) ++s.multi_homed_stub_count;
+    }
+    bool has_provider = false;
+    for (const Neighbor& n : graph.neighbors(id))
+      has_provider = has_provider || n.rel == Relationship::Provider;
+    if (!has_provider && graph.degree(id) > 0) ++s.tier1_count;
+    degree_total += graph.degree(id);
+    s.max_degree = std::max(s.max_degree, graph.degree(id));
+  }
+  s.average_degree = s.nodes == 0 ? 0
+                                  : static_cast<double>(degree_total) /
+                                        static_cast<double>(s.nodes);
+  return s;
+}
+
+std::vector<std::size_t> degree_sequence(const AsGraph& graph) {
+  std::vector<std::size_t> degrees(graph.node_count());
+  for (NodeId id = 0; id < graph.node_count(); ++id)
+    degrees[id] = graph.degree(id);
+  std::sort(degrees.rbegin(), degrees.rend());
+  return degrees;
+}
+
+double fraction_with_degree_above(const AsGraph& graph,
+                                  std::size_t threshold) {
+  if (graph.node_count() == 0) return 0;
+  std::size_t count = 0;
+  for (NodeId id = 0; id < graph.node_count(); ++id)
+    if (graph.degree(id) > threshold) ++count;
+  return static_cast<double>(count) /
+         static_cast<double>(graph.node_count());
+}
+
+std::vector<NodeId> nodes_by_degree_descending(const AsGraph& graph) {
+  std::vector<NodeId> nodes(graph.node_count());
+  for (NodeId id = 0; id < graph.node_count(); ++id) nodes[id] = id;
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    if (graph.degree(a) != graph.degree(b))
+      return graph.degree(a) > graph.degree(b);
+    return a < b;
+  });
+  return nodes;
+}
+
+}  // namespace miro::topo

@@ -1,0 +1,44 @@
+// Topology summary metrics.
+//
+// Feeds Table 5.1 (dataset attributes) and Figure 5.1 (node degree
+// distribution), and provides the tiering / multi-homing statistics quoted in
+// the dissertation's discussion ("60% of ASes are multi-homed", "12,468 out
+// of 31,311 ASes are stubs", "only 0.2% of the ASes has more than 200
+// neighbors").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace miro::topo {
+
+/// One row of the Table 5.1 analog.
+struct TopologySummary {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t customer_provider_links = 0;
+  std::size_t peer_links = 0;
+  std::size_t sibling_links = 0;
+  std::size_t stub_count = 0;
+  std::size_t multi_homed_stub_count = 0;
+  std::size_t tier1_count = 0;  ///< ASes with no providers
+  double average_degree = 0;
+  std::size_t max_degree = 0;
+};
+
+TopologySummary summarize(const AsGraph& graph);
+
+/// Sorted (descending) degree sequence — the raw series behind Figure 5.1.
+std::vector<std::size_t> degree_sequence(const AsGraph& graph);
+
+/// Fraction of nodes with degree strictly greater than `threshold`
+/// (e.g. the paper's "more than 200 neighbors" cut).
+double fraction_with_degree_above(const AsGraph& graph, std::size_t threshold);
+
+/// Node ids sorted by decreasing degree (ties by ascending id) — the
+/// deployment order used by the incremental-deployment experiment.
+std::vector<NodeId> nodes_by_degree_descending(const AsGraph& graph);
+
+}  // namespace miro::topo

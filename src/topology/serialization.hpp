@@ -1,0 +1,35 @@
+// Text serialization of relationship-annotated AS graphs.
+//
+// Uses the CAIDA AS-relationship convention the measurement community built
+// on Gao's inference output:
+//   <provider>|<customer>|-1
+//   <peer>|<peer>|0
+//   <sibling>|<sibling>|2
+// Lines starting with '#' are comments. This lets users load real inferred
+// datasets into the library unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.hpp"
+
+namespace miro::topo {
+
+/// Writes `graph` in CAIDA pipe-separated format.
+void save(const AsGraph& graph, std::ostream& out);
+
+/// Parses a graph from CAIDA pipe-separated format; throws miro::Error with
+/// a line number on malformed input.
+AsGraph load(std::istream& in);
+
+/// Convenience round-trips through std::string.
+std::string to_text(const AsGraph& graph);
+AsGraph from_text(const std::string& text);
+
+/// File helpers; throw miro::Error when the file cannot be opened. Use
+/// these to load real CAIDA/serial-1 relationship datasets.
+void save_file(const AsGraph& graph, const std::string& path);
+AsGraph load_file(const std::string& path);
+
+}  // namespace miro::topo

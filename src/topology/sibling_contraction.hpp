@@ -1,0 +1,39 @@
+// Sibling-group contraction.
+//
+// Sibling ASes "typically belong to the same institution" and provide
+// mutual transit; the dissertation's policy approximation treats chains of
+// sibling links as transparent when classifying routes (Section 2.2.1).
+// Contracting each sibling-connected component into one virtual AS makes
+// that approximation exact: the contracted graph has no sibling links, and
+// route classes computed on it match the transparent-classification rule on
+// the original graph (validated in the tests). The contraction also yields
+// the group statistics (how many multi-AS institutions, largest group).
+#pragma once
+
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace miro::topo {
+
+struct ContractionResult {
+  /// The contracted graph; one node per sibling group. Virtual nodes take
+  /// the smallest member's AS number.
+  AsGraph graph;
+  /// original node id -> contracted node id.
+  std::vector<NodeId> group_of;
+  /// contracted node id -> original member node ids (size >= 1).
+  std::vector<std::vector<NodeId>> members;
+
+  std::size_t group_count() const { return members.size(); }
+  std::size_t largest_group() const;
+  std::size_t multi_member_groups() const;
+};
+
+/// Contracts every sibling-connected component. Edges between two groups
+/// keep the most favorable relationship when parallel original links
+/// disagree (customer beats peer beats provider, from the lower group's
+/// perspective) — disagreeing parallel links are rare and reported.
+ContractionResult contract_siblings(const AsGraph& graph);
+
+}  // namespace miro::topo

@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include "bgp/decision_process.hpp"
+#include "bgp/path_vector_engine.hpp"
+#include "bgp/route.hpp"
+#include "bgp/route_solver.hpp"
+#include "bgp/router_level.hpp"
+#include "scenarios.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::bgp {
+namespace {
+
+using test::Figure31Topology;
+using topo::Relationship;
+
+TEST(RouteClass, ClassifyByFirstLink) {
+  EXPECT_EQ(classify(Relationship::Customer, RouteClass::Provider),
+            RouteClass::Customer);
+  EXPECT_EQ(classify(Relationship::Peer, RouteClass::Customer),
+            RouteClass::Peer);
+  EXPECT_EQ(classify(Relationship::Provider, RouteClass::Self),
+            RouteClass::Provider);
+}
+
+TEST(RouteClass, SiblingInheritsNeighborClass) {
+  EXPECT_EQ(classify(Relationship::Sibling, RouteClass::Peer),
+            RouteClass::Peer);
+  EXPECT_EQ(classify(Relationship::Sibling, RouteClass::Provider),
+            RouteClass::Provider);
+  // All-sibling chain back to the origin counts as a customer route.
+  EXPECT_EQ(classify(Relationship::Sibling, RouteClass::Self),
+            RouteClass::Customer);
+}
+
+TEST(RouteClass, ConventionalExportRules) {
+  // Customer routes go everywhere.
+  for (auto rel : {Relationship::Customer, Relationship::Peer,
+                   Relationship::Provider, Relationship::Sibling}) {
+    EXPECT_TRUE(conventional_export_allows(RouteClass::Customer, rel));
+    EXPECT_TRUE(conventional_export_allows(RouteClass::Self, rel));
+  }
+  // Peer/provider routes only to customers and siblings.
+  for (auto cls : {RouteClass::Peer, RouteClass::Provider}) {
+    EXPECT_TRUE(conventional_export_allows(cls, Relationship::Customer));
+    EXPECT_TRUE(conventional_export_allows(cls, Relationship::Sibling));
+    EXPECT_FALSE(conventional_export_allows(cls, Relationship::Peer));
+    EXPECT_FALSE(conventional_export_allows(cls, Relationship::Provider));
+  }
+}
+
+TEST(RouteClass, LocalPrefBandsAreOrdered) {
+  EXPECT_GT(conventional_local_pref(RouteClass::Customer),
+            conventional_local_pref(RouteClass::Peer));
+  EXPECT_GT(conventional_local_pref(RouteClass::Peer),
+            conventional_local_pref(RouteClass::Provider));
+}
+
+TEST(Route, TraversesAndAccessors) {
+  Route route{{0, 1, 2}, RouteClass::Customer};
+  EXPECT_EQ(route.owner(), 0u);
+  EXPECT_EQ(route.destination(), 2u);
+  EXPECT_EQ(route.next_hop(), 1u);
+  EXPECT_EQ(route.length(), 2u);
+  EXPECT_TRUE(route.traverses(1));
+  EXPECT_FALSE(route.traverses(3));
+}
+
+TEST(Route, PreferOrdersByClassLengthNextHop) {
+  Figure31Topology fig;
+  Route customer{{fig.b, fig.e, fig.f}, RouteClass::Customer};
+  Route peer{{fig.b, fig.c, fig.f}, RouteClass::Peer};
+  EXPECT_TRUE(prefer(customer, peer, fig.graph));
+  EXPECT_FALSE(prefer(peer, customer, fig.graph));
+
+  Route shorter{{fig.a, fig.b, fig.f}, RouteClass::Provider};
+  Route longer{{fig.a, fig.b, fig.e, fig.f}, RouteClass::Provider};
+  EXPECT_TRUE(prefer(shorter, longer, fig.graph));
+
+  Route via_b{{fig.a, fig.b, fig.e, fig.f}, RouteClass::Provider};
+  Route via_d{{fig.a, fig.d, fig.e, fig.f}, RouteClass::Provider};
+  EXPECT_TRUE(prefer(via_b, via_d, fig.graph));  // AS 2 < AS 4
+}
+
+// ---------------------------------------------------------------- solver
+
+TEST(StableRouteSolver, Figure31DefaultRoutes) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  const RoutingTree tree = solver.solve(fig.f);
+
+  EXPECT_EQ(tree.reachable_count(), 6u);
+  // The figure's stable routes: C->CF, E->EF, B->BEF, D->DEF, A->ABEF.
+  EXPECT_EQ(tree.path_of(fig.c), (std::vector<topo::NodeId>{fig.c, fig.f}));
+  EXPECT_EQ(tree.path_of(fig.e), (std::vector<topo::NodeId>{fig.e, fig.f}));
+  EXPECT_EQ(tree.path_of(fig.b),
+            (std::vector<topo::NodeId>{fig.b, fig.e, fig.f}));
+  EXPECT_EQ(tree.path_of(fig.d),
+            (std::vector<topo::NodeId>{fig.d, fig.e, fig.f}));
+  EXPECT_EQ(tree.path_of(fig.a),
+            (std::vector<topo::NodeId>{fig.a, fig.b, fig.e, fig.f}));
+  EXPECT_EQ(tree.route_class(fig.b), RouteClass::Customer);
+  EXPECT_EQ(tree.route_class(fig.a), RouteClass::Provider);
+}
+
+TEST(StableRouteSolver, IngressNeighbor) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  const RoutingTree tree = solver.solve(fig.f);
+  EXPECT_EQ(tree.ingress_neighbor(fig.a), fig.e);
+  EXPECT_EQ(tree.ingress_neighbor(fig.c), fig.c);
+  EXPECT_EQ(tree.ingress_neighbor(fig.f), topo::kInvalidNode);
+}
+
+TEST(StableRouteSolver, CandidatesAtBIncludePeerRoute) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  const RoutingTree tree = solver.solve(fig.f);
+  const auto candidates = solver.candidates_at(tree, fig.b);
+  // B learns BEF from its customer E and BCF from its peer C; A's route
+  // would loop through B and is rejected.
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].path,
+            (std::vector<topo::NodeId>{fig.b, fig.e, fig.f}));
+  EXPECT_EQ(candidates[0].route_class, RouteClass::Customer);
+  EXPECT_EQ(candidates[1].path,
+            (std::vector<topo::NodeId>{fig.b, fig.c, fig.f}));
+  EXPECT_EQ(candidates[1].route_class, RouteClass::Peer);
+}
+
+TEST(StableRouteSolver, CandidatesAtARespectExportRules) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  const RoutingTree tree = solver.solve(fig.f);
+  const auto candidates = solver.candidates_at(tree, fig.a);
+  // A hears from its providers B and D (both announce customer routes).
+  ASSERT_EQ(candidates.size(), 2u);
+  for (const Route& route : candidates)
+    EXPECT_EQ(route.route_class, RouteClass::Provider);
+}
+
+TEST(StableRouteSolver, ValleyFreePaths) {
+  // Property: on a generated topology every stable path is valley-free —
+  // once the path goes down (provider->customer) or across a peer link, it
+  // never goes up or crosses another peer link again.
+  const topo::AsGraph graph = topo::generate(topo::profile("tiny"));
+  StableRouteSolver solver(graph);
+  for (topo::NodeId dest : {topo::NodeId{3}, topo::NodeId{40},
+                            static_cast<topo::NodeId>(graph.node_count() - 1)}) {
+    const RoutingTree tree = solver.solve(dest);
+    for (topo::NodeId source = 0; source < graph.node_count(); ++source) {
+      if (!tree.reachable(source)) continue;
+      const auto path = tree.path_of(source);
+      bool descending = false;
+      int peer_links = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Relationship rel = graph.relationship(path[i], path[i + 1]);
+        if (rel == Relationship::Sibling) continue;
+        if (rel == Relationship::Provider) {
+          // going up (next hop is my provider): must not already descend
+          EXPECT_FALSE(descending) << "valley in path";
+          EXPECT_EQ(peer_links, 0) << "up after peer link";
+        } else if (rel == Relationship::Peer) {
+          ++peer_links;
+          EXPECT_LE(peer_links, 1) << "two peer links on a path";
+          EXPECT_FALSE(descending) << "peer link after descending";
+        } else {
+          descending = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(StableRouteSolver, AgreesWithPathVectorEngineOnRandomTopologies) {
+  // The closed-form solver must compute exactly the stable state the
+  // asynchronous protocol converges to.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    topo::GeneratorParams params = topo::profile("tiny");
+    params.seed = seed;
+    params.node_count = 120;
+    const topo::AsGraph graph = topo::generate(params);
+    StableRouteSolver solver(graph);
+    for (topo::NodeId dest : {topo::NodeId{0}, topo::NodeId{60}}) {
+      const RoutingTree tree = solver.solve(dest);
+      PathVectorEngine engine(graph, dest);
+      ASSERT_TRUE(engine.run_to_stable().has_value());
+      for (topo::NodeId node = 0; node < graph.node_count(); ++node) {
+        ASSERT_EQ(tree.reachable(node), engine.has_route(node))
+            << "node " << node << " dest " << dest << " seed " << seed;
+        if (tree.reachable(node)) {
+          EXPECT_EQ(tree.path_of(node), engine.best(node).path)
+              << "node " << node << " dest " << dest << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(StableRouteSolver, SiblingLinksAreTransparent) {
+  // s1 - s2 are siblings; dest hangs off s2 as a customer; x is a peer of
+  // s1. The route x-s1-s2-dest must classify as a peer route at x and be
+  // available (s1 exports the sibling-learned customer route to its peer).
+  topo::AsGraph graph;
+  const auto s1 = graph.add_as(10);
+  const auto s2 = graph.add_as(20);
+  const auto dest = graph.add_as(30);
+  const auto x = graph.add_as(40);
+  graph.add_sibling(s1, s2);
+  graph.add_customer_provider(/*provider=*/s2, /*customer=*/dest);
+  graph.add_peer(x, s1);
+  StableRouteSolver solver(graph);
+  const RoutingTree tree = solver.solve(dest);
+  ASSERT_TRUE(tree.reachable(s1));
+  EXPECT_EQ(tree.route_class(s1), RouteClass::Customer);  // via sibling
+  ASSERT_TRUE(tree.reachable(x));
+  EXPECT_EQ(tree.route_class(x), RouteClass::Peer);
+  EXPECT_EQ(tree.path_of(x), (std::vector<topo::NodeId>{x, s1, s2, dest}));
+}
+
+TEST(StableRouteSolver, PeerRouteNotExportedToPeer) {
+  // x - y peers, y - z peers, z originates. x must NOT reach z through y.
+  topo::AsGraph graph;
+  const auto x = graph.add_as(1);
+  const auto y = graph.add_as(2);
+  const auto z = graph.add_as(3);
+  graph.add_peer(x, y);
+  graph.add_peer(y, z);
+  StableRouteSolver solver(graph);
+  const RoutingTree tree = solver.solve(z);
+  EXPECT_TRUE(tree.reachable(y));
+  EXPECT_FALSE(tree.reachable(x));
+}
+
+TEST(StableRouteSolver, PinnedRouteForcesAlternate) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  // Pin B to its peer route via C; everyone re-selects.
+  const RoutingTree pinned =
+      solver.solve_pinned(fig.f, PinnedRoute{fig.b, fig.c});
+  EXPECT_EQ(pinned.path_of(fig.b),
+            (std::vector<topo::NodeId>{fig.b, fig.c, fig.f}));
+  EXPECT_EQ(pinned.route_class(fig.b), RouteClass::Peer);
+  // A still reaches F; its route now follows B's new path or goes via D.
+  ASSERT_TRUE(pinned.reachable(fig.a));
+  const auto a_path = pinned.path_of(fig.a);
+  EXPECT_EQ(a_path.back(), fig.f);
+}
+
+TEST(StableRouteSolver, PinnedRouteRequiresAdjacency) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  EXPECT_THROW(solver.solve_pinned(fig.f, PinnedRoute{fig.a, fig.f}), Error);
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(PathVectorEngine, ActivationReachesStability) {
+  Figure31Topology fig;
+  PathVectorEngine engine(fig.graph, fig.f);
+  EXPECT_FALSE(engine.is_stable());  // nothing propagated yet
+  auto activations = engine.run_to_stable();
+  ASSERT_TRUE(activations.has_value());
+  EXPECT_TRUE(engine.is_stable());
+  EXPECT_EQ(engine.best(fig.a).path,
+            (std::vector<topo::NodeId>{fig.a, fig.b, fig.e, fig.f}));
+}
+
+TEST(PathVectorEngine, RandomFairScheduleConverges) {
+  Figure31Topology fig;
+  PathVectorEngine engine(fig.graph, fig.f);
+  Rng rng(5);
+  auto activations = engine.run_random(rng, 100000);
+  ASSERT_TRUE(activations.has_value());
+  EXPECT_EQ(engine.best(fig.a).path,
+            (std::vector<topo::NodeId>{fig.a, fig.b, fig.e, fig.f}));
+}
+
+TEST(PathVectorEngine, CandidatesMatchSolver) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  const RoutingTree tree = solver.solve(fig.f);
+  PathVectorEngine engine(fig.graph, fig.f);
+  ASSERT_TRUE(engine.run_to_stable().has_value());
+  const auto engine_candidates = engine.candidates(fig.b);
+  const auto solver_candidates = solver.candidates_at(tree, fig.b);
+  ASSERT_EQ(engine_candidates.size(), solver_candidates.size());
+  for (std::size_t i = 0; i < engine_candidates.size(); ++i)
+    EXPECT_EQ(engine_candidates[i].path, solver_candidates[i].path);
+}
+
+// --------------------------------------------------- decision process
+
+RouterRoute make_route(std::initializer_list<topo::AsNumber> as_path) {
+  RouterRoute route;
+  route.as_path = as_path;
+  return route;
+}
+
+TEST(DecisionProcess, LocalPreferenceWinsFirst) {
+  auto low = make_route({10, 20});
+  low.local_pref = 100;
+  auto high = make_route({10, 20, 30});  // longer but preferred
+  high.local_pref = 400;
+  const std::vector<RouterRoute> candidates{low, high};
+  const auto result = decide(candidates);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.deciding_step, 1);
+}
+
+TEST(DecisionProcess, ShorterAsPathBreaksTie) {
+  auto a = make_route({10, 20, 30});
+  auto b = make_route({10, 20});
+  const std::vector<RouterRoute> candidates{a, b};
+  const auto result = decide(candidates);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.deciding_step, 2);
+}
+
+TEST(DecisionProcess, OriginOrdering) {
+  auto igp = make_route({10});
+  igp.origin = Origin::Igp;
+  auto incomplete = make_route({10});
+  incomplete.origin = Origin::Incomplete;
+  const std::vector<RouterRoute> candidates{incomplete, igp};
+  const auto result = decide(candidates);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.deciding_step, 3);
+}
+
+TEST(DecisionProcess, MedComparedOnlyWithinSameNextHopAs) {
+  auto a = make_route({10, 99});
+  a.med = 50;
+  auto b = make_route({10, 99});
+  b.med = 10;                    // same neighbor AS: b wins on MED
+  auto c = make_route({20, 99});
+  c.med = 100;                   // different neighbor AS: MED not compared
+  c.learned_via_ebgp = false;    // loses step 5 instead
+  const std::vector<RouterRoute> candidates{a, b, c};
+  const auto result = decide(candidates);
+  EXPECT_EQ(result.best_index, 1u);
+}
+
+TEST(DecisionProcess, EbgpPreferredOverIbgp) {
+  auto ibgp = make_route({10});
+  ibgp.learned_via_ebgp = false;
+  auto ebgp = make_route({10});
+  ebgp.learned_via_ebgp = true;
+  const std::vector<RouterRoute> candidates{ibgp, ebgp};
+  const auto result = decide(candidates);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.deciding_step, 5);
+}
+
+TEST(DecisionProcess, IgpDistanceThenRouterIdThenPeerAddress) {
+  auto far = make_route({10});
+  far.learned_via_ebgp = false;
+  far.igp_distance_to_egress = 20;
+  auto near = make_route({10});
+  near.learned_via_ebgp = false;
+  near.igp_distance_to_egress = 5;
+  {
+    const std::vector<RouterRoute> candidates{far, near};
+    const auto result = decide(candidates);
+    EXPECT_EQ(result.best_index, 1u);
+    EXPECT_EQ(result.deciding_step, 6);
+  }
+  auto rid_high = make_route({10});
+  rid_high.advertising_router_id = 9;
+  auto rid_low = make_route({10});
+  rid_low.advertising_router_id = 3;
+  {
+    const std::vector<RouterRoute> candidates{rid_high, rid_low};
+    const auto result = decide(candidates);
+    EXPECT_EQ(result.best_index, 1u);
+    EXPECT_EQ(result.deciding_step, 7);
+  }
+  auto addr_high = make_route({10});
+  addr_high.peer_address = net::Ipv4Address(10, 0, 0, 9);
+  auto addr_low = make_route({10});
+  addr_low.peer_address = net::Ipv4Address(10, 0, 0, 2);
+  {
+    const std::vector<RouterRoute> candidates{addr_high, addr_low};
+    const auto result = decide(candidates);
+    EXPECT_EQ(result.best_index, 1u);
+    EXPECT_EQ(result.deciding_step, 8);
+  }
+}
+
+TEST(DecisionProcess, EmptyCandidateSetThrows) {
+  std::vector<RouterRoute> none;
+  EXPECT_THROW(decide(none), Error);
+}
+
+// ------------------------------------------------------- router level
+
+TEST(RouterLevel, Figure41Scenario) {
+  // Figure 4.1: R1 internal; R2 learns VU (from AS V) and WU (from AS W);
+  // R3 learns WU (from AS W). All attributes equal through step 4.
+  RouterLevelAs as_x;
+  const auto r1 = as_x.add_router(net::Ipv4Address(12, 34, 56, 1));
+  const auto r2 = as_x.add_router(net::Ipv4Address(12, 34, 56, 2));
+  const auto r3 = as_x.add_router(net::Ipv4Address(12, 34, 56, 3));
+  as_x.add_internal_link(r1, r2, 5);
+  as_x.add_internal_link(r1, r3, 10);
+  as_x.add_internal_link(r2, r3, 4);
+
+  const topo::AsNumber v = 100, w = 200, u = 300;
+  as_x.inject_ebgp_route(r2, v, net::Ipv4Address(9, 0, 0, 1), {v, u}, 100);
+  as_x.inject_ebgp_route(r2, w, net::Ipv4Address(9, 0, 0, 2), {w, u}, 100);
+  as_x.inject_ebgp_route(r3, w, net::Ipv4Address(9, 0, 0, 3), {w, u}, 100);
+  as_x.converge();
+
+  // R2 keeps an eBGP route; with equal attributes the lower peer address
+  // wins locally, so R2 selects (V U).
+  const auto sel2 = as_x.selected(r2);
+  ASSERT_TRUE(sel2);
+  EXPECT_EQ(sel2->as_path, (std::vector<topo::AsNumber>{v, u}));
+  // R3 prefers its own eBGP-learned (W U) over R2's iBGP routes (step 5).
+  const auto sel3 = as_x.selected(r3);
+  ASSERT_TRUE(sel3);
+  EXPECT_EQ(sel3->as_path, (std::vector<topo::AsNumber>{w, u}));
+  EXPECT_EQ(sel3->egress_router, r3);
+  // R1 hears both via iBGP and picks the IGP-closer egress: R2 (distance 5
+  // vs 10 for R3... R3 is at distance min(10, 5+4)=9): R2 wins.
+  const auto sel1 = as_x.selected(r1);
+  ASSERT_TRUE(sel1);
+  EXPECT_EQ(sel1->egress_router, r2);
+  EXPECT_FALSE(sel1->learned_via_ebgp);
+
+  // MIRO's intra-AS extension: the AS as a whole can offer both VU and WU.
+  const auto all = as_x.all_valid_paths();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].as_path, (std::vector<topo::AsNumber>{v, u}));
+  EXPECT_EQ(all[1].as_path, (std::vector<topo::AsNumber>{w, u}));
+}
+
+TEST(RouterLevel, IgpDistanceDijkstra) {
+  RouterLevelAs as_x;
+  const auto r0 = as_x.add_router(net::Ipv4Address(1, 0, 0, 0));
+  const auto r1 = as_x.add_router(net::Ipv4Address(1, 0, 0, 1));
+  const auto r2 = as_x.add_router(net::Ipv4Address(1, 0, 0, 2));
+  as_x.add_internal_link(r0, r1, 3);
+  as_x.add_internal_link(r1, r2, 4);
+  as_x.add_internal_link(r0, r2, 10);
+  EXPECT_EQ(as_x.igp_distance(r0, r2), 7);  // through r1
+  EXPECT_EQ(as_x.igp_distance(r2, r0), 7);
+  EXPECT_EQ(as_x.igp_distance(r0, r0), 0);
+}
+
+TEST(RouterLevel, DisconnectedRouterIsUnreachable) {
+  RouterLevelAs as_x;
+  const auto r0 = as_x.add_router(net::Ipv4Address(1, 0, 0, 0));
+  const auto r1 = as_x.add_router(net::Ipv4Address(1, 0, 0, 1));
+  EXPECT_EQ(as_x.igp_distance(r0, r1), RouterLevelAs::kUnreachable);
+  // An iBGP route from an unreachable egress must not be used.
+  as_x.inject_ebgp_route(r1, 100, net::Ipv4Address(9, 0, 0, 1), {100}, 100);
+  as_x.converge();
+  EXPECT_FALSE(as_x.selected(r0).has_value());
+  EXPECT_TRUE(as_x.selected(r1).has_value());
+}
+
+TEST(RouterLevel, InjectValidatesInput) {
+  RouterLevelAs as_x;
+  const auto r0 = as_x.add_router(net::Ipv4Address(1, 0, 0, 0));
+  EXPECT_THROW(as_x.inject_ebgp_route(r0, 100, net::Ipv4Address(9, 0, 0, 1),
+                                      {200}, 100),
+               Error);  // path must start with the neighbor AS
+  EXPECT_THROW(as_x.add_internal_link(r0, r0, 1), Error);
+}
+
+}  // namespace
+}  // namespace miro::bgp

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "convergence/gadgets.hpp"
+#include "convergence/model.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::conv {
+namespace {
+
+// --------------------------------------------------------- plain BGP gadgets
+
+TEST(BgpGadgets, DisagreeOscillatesSynchronouslyButHasStableStates) {
+  const BgpGadget gadget = make_disagree();
+  // Synchronous (simultaneous) activation oscillates forever.
+  {
+    bgp::PathVectorEngine engine(gadget.graph, gadget.destination,
+                                 gadget.hooks);
+    bool saw_change_late = false;
+    for (int step = 0; step < 64; ++step) {
+      const bool changed = engine.step_synchronous();
+      if (step > 8 && changed) saw_change_late = true;
+    }
+    EXPECT_TRUE(saw_change_late) << "DISAGREE settled synchronously?";
+  }
+  // Sequential round-robin reaches one of the two stable states.
+  {
+    bgp::PathVectorEngine engine(gadget.graph, gadget.destination,
+                                 gadget.hooks);
+    EXPECT_TRUE(engine.run_to_stable().has_value());
+    EXPECT_TRUE(engine.is_stable());
+  }
+}
+
+TEST(BgpGadgets, BadGadgetNeverStabilizes) {
+  const BgpGadget gadget = make_bad_gadget();
+  bgp::PathVectorEngine engine(gadget.graph, gadget.destination,
+                               gadget.hooks);
+  EXPECT_FALSE(engine.run_to_stable(300).has_value());
+  Rng rng(3);
+  bgp::PathVectorEngine random_engine(gadget.graph, gadget.destination,
+                                      gadget.hooks);
+  EXPECT_FALSE(random_engine.run_random(rng, 50000).has_value());
+}
+
+TEST(BgpGadgets, GuidelineAPoliciesFixBadGadget) {
+  // The same topology under conventional Gao-Rexford policies converges:
+  // violating the customer>peer>provider preference is what broke it.
+  const BgpGadget gadget = make_bad_gadget();
+  bgp::PathVectorEngine engine(gadget.graph, gadget.destination);
+  EXPECT_TRUE(engine.run_to_stable().has_value());
+}
+
+// ------------------------------------------------------------- Figure 7.1
+
+TEST(Figure71, DivergesWithoutGuidelines) {
+  const MiroGadget gadget = make_figure_7_1(Guideline::None);
+  MiroConvergenceModel model = gadget.build();
+  const auto result = model.run_round_robin();
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.cycle_detected)
+      << "expected a provable oscillation on Figure 7.1";
+}
+
+class Figure71GuidelineTest : public ::testing::TestWithParam<Guideline> {};
+
+TEST_P(Figure71GuidelineTest, ConvergesUnderGuideline) {
+  const MiroGadget gadget = make_figure_7_1(GetParam());
+  MiroConvergenceModel model = gadget.build();
+  const auto result = model.run_round_robin();
+  EXPECT_TRUE(result.converged) << to_string(GetParam());
+  EXPECT_TRUE(model.is_stable());
+}
+
+INSTANTIATE_TEST_SUITE_P(Guidelines, Figure71GuidelineTest,
+                         ::testing::Values(Guideline::StrictOnly,
+                                           Guideline::B, Guideline::C,
+                                           Guideline::D, Guideline::E),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) == "strict-only"
+                                      ? std::string("StrictOnly")
+                                      : std::string(to_string(info.param));
+                         });
+
+TEST(Figure71, GuidelineBKeepsAllThreeTunnelsUp) {
+  // Under Guideline B the tunnels ride on the (stable) BGP layer, so all
+  // three coexist: A uses ABD, B uses BCD, C uses CAD.
+  const MiroGadget gadget = make_figure_7_1(Guideline::B);
+  MiroConvergenceModel model = gadget.build();
+  ASSERT_TRUE(model.run_round_robin().converged);
+  const NodeId a = gadget.nodes.at("A");
+  const NodeId b = gadget.nodes.at("B");
+  const NodeId c = gadget.nodes.at("C");
+  const NodeId d = gadget.nodes.at("D");
+  EXPECT_EQ(model.route(a, d).tunnel, (Path{a, b, d}));
+  EXPECT_EQ(model.route(b, d).tunnel, (Path{b, c, d}));
+  EXPECT_EQ(model.route(c, d).tunnel, (Path{c, a, d}));
+  // The BGP layer stays on the direct provider routes.
+  EXPECT_EQ(model.route(a, d).bgp, (Path{a, d}));
+}
+
+// ------------------------------------------------------------- Figure 7.2
+
+TEST(Figure72, DivergesUnderStrictPolicyAlone) {
+  const MiroGadget gadget = make_figure_7_2(Guideline::StrictOnly);
+  MiroConvergenceModel model = gadget.build();
+  const auto result = model.run_round_robin();
+  EXPECT_FALSE(result.converged)
+      << "strict policy alone must not fix Figure 7.2";
+  EXPECT_TRUE(result.cycle_detected);
+}
+
+TEST(Figure72, GuidelineDConverges) {
+  const MiroGadget gadget = make_figure_7_2(Guideline::D);
+  MiroConvergenceModel model = gadget.build();
+  const auto result = model.run_round_robin();
+  EXPECT_TRUE(result.converged);
+  // The id-order ≺ admits only tunnels whose responder precedes the prefix;
+  // at least one of D's three cyclic tunnel wishes is denied, and the rest
+  // are stable.
+  const NodeId d = gadget.nodes.at("D");
+  std::size_t tunnels = 0;
+  for (const char* name : {"A", "B", "C"})
+    if (model.route(d, gadget.nodes.at(name)).tunnel) ++tunnels;
+  EXPECT_LT(tunnels, 3u);
+}
+
+TEST(Figure72, GuidelineEConverges) {
+  const MiroGadget gadget = make_figure_7_2(Guideline::E);
+  MiroConvergenceModel model = gadget.build();
+  const auto result = model.run_round_robin();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(model.is_stable());
+  // E's local no-invalidation check leaves a maximal non-conflicting set of
+  // tunnels established — at least one survives.
+  const NodeId d = gadget.nodes.at("D");
+  std::size_t tunnels = 0;
+  for (const char* name : {"A", "B", "C"})
+    if (model.route(d, gadget.nodes.at(name)).tunnel) ++tunnels;
+  EXPECT_GE(tunnels, 1u);
+}
+
+TEST(Figure72, GuidelineBSideStepsTheOscillation) {
+  const MiroGadget gadget = make_figure_7_2(Guideline::B);
+  MiroConvergenceModel model = gadget.build();
+  EXPECT_TRUE(model.run_round_robin().converged);
+  // All three tunnels coexist because carriers are pure BGP routes.
+  const NodeId d = gadget.nodes.at("D");
+  for (const char* name : {"A", "B", "C"})
+    EXPECT_TRUE(model.route(d, gadget.nodes.at(name)).tunnel.has_value());
+}
+
+TEST(Figure72, RandomFairSchedulesAgreeWithRoundRobin) {
+  const MiroGadget strict_gadget = make_figure_7_2(Guideline::StrictOnly);
+  const MiroGadget d_gadget = make_figure_7_2(Guideline::D);
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    // Divergent configuration stays divergent...
+    MiroConvergenceModel bad = strict_gadget.build();
+    Rng rng1(seed);
+    EXPECT_FALSE(bad.run_random(rng1, 20000).converged);
+    // ...and guideline-D configuration converges under random schedules.
+    MiroConvergenceModel good = d_gadget.build();
+    Rng rng2(seed);
+    EXPECT_TRUE(good.run_random(rng2, 20000).converged);
+  }
+}
+
+// --------------------------------------------------- random MIRO instances
+
+class RandomMiroConvergence
+    : public ::testing::TestWithParam<std::tuple<Guideline, std::uint64_t>> {
+};
+
+TEST_P(RandomMiroConvergence, GuidelineGuaranteesConvergence) {
+  const auto [guideline, seed] = GetParam();
+  topo::GeneratorParams params = topo::profile("tiny");
+  params.node_count = 72;
+  params.seed = seed;
+  const topo::AsGraph graph = topo::generate(params);
+
+  // Random tunnel wishes: a handful of (requester, responder, destination)
+  // triples over a few destination prefixes.
+  Rng rng(seed * 31 + 7);
+  std::vector<NodeId> destinations;
+  for (int i = 0; i < 4; ++i)
+    destinations.push_back(
+        static_cast<NodeId>(rng.next_below(graph.node_count())));
+  std::sort(destinations.begin(), destinations.end());
+  destinations.erase(std::unique(destinations.begin(), destinations.end()),
+                     destinations.end());
+
+  ModelOptions options;
+  options.guideline = guideline;
+  for (int i = 0; i < 12; ++i) {
+    TunnelSpec spec;
+    spec.requester = static_cast<NodeId>(rng.next_below(graph.node_count()));
+    spec.responder = static_cast<NodeId>(rng.next_below(graph.node_count()));
+    spec.destination = destinations[rng.next_below(destinations.size())];
+    if (spec.requester == spec.responder ||
+        spec.responder == spec.destination)
+      continue;
+    options.tunnels.push_back(spec);
+  }
+  if (guideline == Guideline::D) {
+    options.partial_order = [](NodeId, NodeId first_downstream,
+                               NodeId destination) {
+      return first_downstream < destination;
+    };
+  }
+
+  MiroConvergenceModel model(graph, destinations, options);
+  const auto result = model.run_round_robin(512);
+  EXPECT_TRUE(result.converged)
+      << "guideline " << to_string(guideline) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomMiroConvergence,
+    ::testing::Combine(::testing::Values(Guideline::B, Guideline::C,
+                                         Guideline::D, Guideline::E),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Model, FingerprintDistinguishesStates) {
+  const MiroGadget gadget = make_figure_7_1(Guideline::None);
+  MiroConvergenceModel model = gadget.build();
+  const auto before = model.fingerprint();
+  model.activate(gadget.nodes.at("A"));
+  EXPECT_NE(model.fingerprint(), before);
+}
+
+TEST(Model, GuidelineDRequiresPartialOrder) {
+  MiroGadget gadget = make_figure_7_2(Guideline::D);
+  gadget.options.partial_order = nullptr;
+  EXPECT_THROW(gadget.build(), Error);
+}
+
+TEST(Model, ScheduleRunnerDetectsCycles) {
+  const MiroGadget gadget = make_figure_7_1(Guideline::None);
+  MiroConvergenceModel model = gadget.build();
+  const std::vector<NodeId> everyone{0, 1, 2, 3};
+  const auto result = model.run_schedule(everyone, 128);
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.cycle_detected);
+}
+
+}  // namespace
+}  // namespace miro::conv

@@ -1,0 +1,166 @@
+// Tests for the Gao-Rexford guideline variants (Section 7.2): relaxed
+// peer-to-peer preference and backup links.
+#include <gtest/gtest.h>
+
+#include "bgp/gao_rexford.hpp"
+#include "scenarios.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::bgp {
+namespace {
+
+using test::Figure31Topology;
+
+TEST(RelaxedPeering, PeerRouteCanBeatLongerCustomerRoute) {
+  // x has a 2-hop customer route and a 1-hop peer route to d. Under
+  // Guideline A the customer route wins; under the relaxed band the shorter
+  // peer route does.
+  topo::AsGraph graph;
+  const auto x = graph.add_as(1);
+  const auto c = graph.add_as(2);
+  const auto c2 = graph.add_as(5);
+  const auto p = graph.add_as(3);
+  const auto d = graph.add_as(4);
+  graph.add_customer_provider(/*provider=*/x, /*customer=*/c);
+  graph.add_customer_provider(c, c2);
+  graph.add_customer_provider(c2, d);  // customer chain x -> c -> c2 -> d
+  graph.add_peer(x, p);
+  graph.add_sibling(p, d);  // p reaches d via sibling => customer class at p
+  // Conventional: the (longer) customer route wins.
+  {
+    PathVectorEngine engine(graph, d);
+    ASSERT_TRUE(engine.run_to_stable().has_value());
+    EXPECT_EQ(engine.best(x).path,
+              (std::vector<topo::NodeId>{x, c, c2, d}));
+  }
+  // Relaxed: the peer-learned route x-p-d is shorter within the shared band.
+  {
+    PathVectorEngine engine(graph, d, relaxed_peering_hooks(graph));
+    ASSERT_TRUE(engine.run_to_stable().has_value());
+    EXPECT_EQ(engine.best(x).path, (std::vector<topo::NodeId>{x, p, d}));
+  }
+}
+
+TEST(RelaxedPeering, ConvergesOnGeneratedTopologies) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    topo::GeneratorParams params = topo::profile("tiny");
+    params.seed = seed;
+    params.node_count = 120;
+    const topo::AsGraph graph = topo::generate(params);
+    for (topo::NodeId dest : {topo::NodeId{0}, topo::NodeId{60}}) {
+      PathVectorEngine engine(graph, dest, relaxed_peering_hooks(graph));
+      EXPECT_TRUE(engine.run_to_stable().has_value())
+          << "seed " << seed << " dest " << dest;
+    }
+  }
+}
+
+TEST(BackupLinks, CountOnPath) {
+  BackupLinks backups;
+  backups.add(1, 2);
+  backups.add(3, 4);
+  EXPECT_EQ(backups.count_on_path({0, 1, 2, 3}), 1u);
+  EXPECT_EQ(backups.count_on_path({2, 1, 4, 3}), 2u);  // order-insensitive
+  EXPECT_EQ(backups.count_on_path({0, 5, 6}), 0u);
+  EXPECT_TRUE(backups.contains(2, 1));
+}
+
+TEST(BackupLinks, UnusedWhilePrimaryExists) {
+  // s is dual-homed: primary provider p1, backup provider p2.
+  topo::AsGraph graph;
+  const auto core = graph.add_as(1);
+  const auto p1 = graph.add_as(2);
+  const auto p2 = graph.add_as(3);
+  const auto s = graph.add_as(4);
+  const auto d = graph.add_as(5);
+  graph.add_customer_provider(core, p1);
+  graph.add_customer_provider(core, p2);
+  graph.add_customer_provider(p1, s);
+  graph.add_customer_provider(p2, s);  // the backup homing
+  graph.add_customer_provider(core, d);
+  BackupLinks backups;
+  backups.add(p2, s);
+
+  PathVectorEngine engine(graph, d, backup_link_hooks(graph, backups));
+  ASSERT_TRUE(engine.run_to_stable().has_value());
+  // s routes via the primary even though p2's AS number ties equally well.
+  EXPECT_EQ(engine.best(s).path,
+            (std::vector<topo::NodeId>{s, p1, core, d}));
+}
+
+TEST(BackupLinks, CarryTrafficAfterPrimaryFailure) {
+  // Same scenario with the primary homing removed: the backup link must
+  // restore connectivity.
+  topo::AsGraph graph;
+  const auto core = graph.add_as(1);
+  const auto p2 = graph.add_as(3);
+  const auto s = graph.add_as(4);
+  const auto d = graph.add_as(5);
+  graph.add_customer_provider(core, p2);
+  graph.add_customer_provider(p2, s);
+  graph.add_customer_provider(core, d);
+  BackupLinks backups;
+  backups.add(p2, s);
+  PathVectorEngine engine(graph, d, backup_link_hooks(graph, backups));
+  ASSERT_TRUE(engine.run_to_stable().has_value());
+  ASSERT_TRUE(engine.has_route(s));
+  EXPECT_EQ(engine.best(s).path, (std::vector<topo::NodeId>{s, p2, core, d}));
+}
+
+TEST(BackupLinks, BackupPeeringRestoresPartitionedCustomerCone) {
+  // Two providers with a backup peer link between them; x's only provider
+  // is p1, d hangs off p2. Without liberal backup export the peer link
+  // would never carry p2's provider routes to x's side... the backup rules
+  // must make d reachable for x even though the path crosses the backup
+  // peering "valley-free violation" style.
+  topo::AsGraph graph;
+  const auto p1 = graph.add_as(1);
+  const auto p2 = graph.add_as(2);
+  const auto x = graph.add_as(3);
+  const auto d = graph.add_as(4);
+  graph.add_customer_provider(p1, x);
+  graph.add_customer_provider(p2, d);
+  graph.add_peer(p1, p2);
+  BackupLinks backups;
+  backups.add(p1, p2);
+  PathVectorEngine engine(graph, d, backup_link_hooks(graph, backups));
+  ASSERT_TRUE(engine.run_to_stable().has_value());
+  ASSERT_TRUE(engine.has_route(x));
+  EXPECT_EQ(engine.best(x).path,
+            (std::vector<topo::NodeId>{x, p1, p2, d}));
+}
+
+TEST(BackupLinks, ConvergesOnGeneratedTopologiesWithRandomBackups) {
+  for (std::uint64_t seed : {4ull, 5ull, 6ull}) {
+    topo::GeneratorParams params = topo::profile("tiny");
+    params.seed = seed;
+    params.node_count = 120;
+    const topo::AsGraph graph = topo::generate(params);
+    // Mark a handful of random links as backups.
+    BackupLinks backups;
+    Rng rng(seed);
+    for (int i = 0; i < 8; ++i) {
+      const auto node =
+          static_cast<topo::NodeId>(rng.next_below(graph.node_count()));
+      if (graph.degree(node) == 0) continue;
+      const auto& neighbor =
+          graph.neighbors(node)[rng.next_below(graph.degree(node))];
+      backups.add(node, neighbor.node);
+    }
+    for (topo::NodeId dest : {topo::NodeId{0}, topo::NodeId{60}}) {
+      PathVectorEngine engine(graph, dest,
+                              backup_link_hooks(graph, backups));
+      EXPECT_TRUE(engine.run_to_stable().has_value())
+          << "seed " << seed << " dest " << dest;
+      // Backup preference never reduces reachability.
+      PathVectorEngine plain(graph, dest);
+      ASSERT_TRUE(plain.run_to_stable().has_value());
+      for (topo::NodeId node = 0; node < graph.node_count(); ++node)
+        EXPECT_GE(engine.has_route(node), plain.has_route(node))
+            << "node " << node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miro::bgp

@@ -1,0 +1,157 @@
+// End-to-end integration: topology generation -> stable BGP -> MIRO
+// negotiation (analytic and message-driven) -> data-plane tunnel
+// installation -> packet traces. These tests tie every library together the
+// way the examples and benches use them.
+#include <gtest/gtest.h>
+
+#include "core/alternates.hpp"
+#include "core/protocol.hpp"
+#include "dataplane/forwarding.hpp"
+#include "eval/experiments.hpp"
+#include "policy/policy_engine.hpp"
+#include "scenarios.hpp"
+#include "topology/generator.hpp"
+
+namespace miro {
+namespace {
+
+using core::AlternatesEngine;
+using core::ExportPolicy;
+using core::RouteStore;
+using test::Figure31Topology;
+
+TEST(Integration, NegotiatedPathsAreUsableOnGeneratedTopology) {
+  // On a generated Internet, every successful avoid-AS negotiation must
+  // yield a spliced path that the data plane can actually forward along,
+  // avoiding the AS end to end.
+  topo::GeneratorParams params = topo::profile("tiny");
+  params.node_count = 150;
+  const topo::AsGraph graph = topo::generate(params);
+  bgp::StableRouteSolver solver(graph);
+  AlternatesEngine engine(solver);
+  RouteStore store(graph);
+  dataplane::AsLevelDataPlane plane(store);
+
+  Rng rng(11);
+  std::size_t negotiated = 0;
+  std::size_t attempts = 0;
+  while (negotiated < 10 && attempts < 400) {
+    ++attempts;
+    const auto dest = static_cast<topo::NodeId>(
+        rng.next_below(graph.node_count()));
+    const auto source = static_cast<topo::NodeId>(
+        rng.next_below(graph.node_count()));
+    if (source == dest) continue;
+    const bgp::RoutingTree tree = solver.solve(dest);
+    if (!tree.reachable(source)) continue;
+    const auto path = tree.path_of(source);
+    if (path.size() < 4) continue;  // need an intermediate beyond first hop
+    const topo::NodeId avoid = path[2];
+    if (avoid == dest || graph.has_edge(source, avoid)) continue;
+
+    const auto result =
+        engine.avoid_as(tree, source, avoid, ExportPolicy::Flexible);
+    if (!result.success || result.bgp_success) continue;
+    ++negotiated;
+
+    ASSERT_TRUE(result.chosen.has_value());
+    plane.install_tunnel(*result.chosen);
+    net::Packet packet(plane.host_address(source),
+                       plane.host_address(dest));
+    const auto trace = plane.trace(packet, source);
+    EXPECT_TRUE(trace.delivered);
+    EXPECT_FALSE(trace.traversed(avoid)) << trace.to_string(graph);
+    EXPECT_EQ(trace.as_path(), result.chosen->as_path);
+  }
+  EXPECT_GE(negotiated, 10u) << "could not exercise enough negotiations";
+}
+
+TEST(Integration, ControlPlaneOutcomeMatchesAnalyticEngine) {
+  // The message-driven protocol must establish exactly the route the
+  // analytic engine predicts for the same policy.
+  Figure31Topology fig;
+  RouteStore store(fig.graph);
+  sim::Scheduler scheduler;
+  core::Bus bus(scheduler);
+  core::ResponderConfig responder_config;
+  responder_config.policy = ExportPolicy::RespectExport;
+  core::MiroAgent a(fig.a, store, bus);
+  core::MiroAgent b(fig.b, store, bus, responder_config);
+
+  std::optional<core::NegotiationOutcome> outcome;
+  a.request(fig.b, fig.a, fig.f, fig.e, std::nullopt,
+            [&outcome](const core::NegotiationOutcome& o) { outcome = o; });
+  scheduler.run_until(1000);
+  ASSERT_TRUE(outcome && outcome->established);
+
+  bgp::StableRouteSolver solver(fig.graph);
+  const bgp::RoutingTree tree = solver.solve(fig.f);
+  AlternatesEngine engine(solver);
+  const auto analytic =
+      engine.avoid_as(tree, fig.a, fig.e, ExportPolicy::RespectExport);
+  ASSERT_TRUE(analytic.success && analytic.chosen);
+
+  const core::TunnelRecord* record = b.tunnels().find(outcome->tunnel_id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->bound_route.path, analytic.chosen->offered.path);
+}
+
+TEST(Integration, PolicyLanguageDrivesNegotiationTargets) {
+  // Express "avoid AS 5" (AS E) in the Chapter 6 language, evaluate the
+  // trigger against A's BGP candidates, and verify it points at B — the AS
+  // the analytic negotiation succeeds with.
+  Figure31Topology fig;
+  bgp::StableRouteSolver solver(fig.graph);
+  const bgp::RoutingTree tree = solver.solve(fig.f);
+
+  const char* config_text = R"(
+router bgp 1
+route-map AVOID permit 10
+match empty path 200
+try negotiation NEG-5
+ip as-path access-list 200 deny _5_
+ip as-path access-list 200 permit .*
+negotiation NEG-5
+match all path _5_
+start negotiation with maximum cost 300
+)";
+  policy::PolicyEngine policy_engine(policy::parse_config(config_text));
+
+  // A's BGP candidates, rendered as received AS_PATH attributes.
+  std::vector<policy::CandidateRoute> candidates;
+  for (const bgp::Route& route : solver.candidates_at(tree, fig.a)) {
+    policy::CandidateRoute candidate;
+    for (std::size_t i = 1; i < route.path.size(); ++i)
+      candidate.as_path.push_back(fig.graph.as_number(route.path[i]));
+    candidate.local_pref = bgp::conventional_local_pref(route.route_class);
+    candidates.push_back(std::move(candidate));
+  }
+  const auto trigger = policy_engine.evaluate_trigger("AVOID", candidates);
+  ASSERT_TRUE(trigger.has_value()) << "all of A's routes traverse AS 5";
+  EXPECT_EQ(trigger->max_cost, 300);
+  // The target list contains AS 2 (= B), the on-path AS before AS 5.
+  EXPECT_NE(std::find(trigger->targets.begin(), trigger->targets.end(),
+                      topo::AsNumber{2}),
+            trigger->targets.end());
+
+  // Driving the negotiation with the first target succeeds.
+  core::AlternatesEngine engine(solver);
+  const auto result = engine.avoid_as(tree, fig.a, fig.e,
+                                      ExportPolicy::RespectExport);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.chosen->responder,
+            fig.graph.require_node(trigger->targets.front()));
+}
+
+TEST(Integration, EvalPipelineRunsEndToEndOnGeneratedTopology) {
+  eval::EvalConfig config;
+  config.profile = "tiny";
+  config.destination_samples = 10;
+  config.sources_per_destination = 8;
+  const eval::ExperimentPlan plan(config);
+  EXPECT_EQ(plan.trees().size(), 10u);
+  EXPECT_FALSE(plan.sample_tuples(8).empty());
+}
+
+}  // namespace
+}  // namespace miro

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netsim/message_bus.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.at(30, [&] { order.push_back(3); });
+  scheduler.at(10, [&] { order.push_back(1); });
+  scheduler.at(20, [&] { order.push_back(2); });
+  scheduler.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 30u);
+}
+
+TEST(Scheduler, SameTimestampIsFifo) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    scheduler.at(7, [&order, i] { order.push_back(i); });
+  scheduler.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler scheduler;
+  Time fired_at = 0;
+  scheduler.at(100, [&] {
+    scheduler.after(25, [&] { fired_at = scheduler.now(); });
+  });
+  scheduler.run_all();
+  EXPECT_EQ(fired_at, 125u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler scheduler;
+  bool fired = false;
+  auto token = scheduler.at(10, [&] { fired = true; });
+  EXPECT_TRUE(token.pending());
+  token.cancel();
+  EXPECT_FALSE(token.pending());
+  scheduler.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireIsHarmless) {
+  Scheduler scheduler;
+  auto token = scheduler.at(10, [] {});
+  scheduler.run_all();
+  EXPECT_FALSE(token.pending());
+  token.cancel();  // no-op
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.at(10, [&] { order.push_back(1); });
+  scheduler.at(20, [&] { order.push_back(2); });
+  scheduler.at(30, [&] { order.push_back(3); });
+  EXPECT_EQ(scheduler.run_until(20), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(scheduler.now(), 20u);
+  EXPECT_EQ(scheduler.pending_events(), 1u);
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler scheduler;
+  scheduler.at(50, [] {});
+  scheduler.run_all();
+  EXPECT_THROW(scheduler.at(10, [] {}), Error);
+}
+
+TEST(Scheduler, RunawayGuardThrows) {
+  Scheduler scheduler;
+  // A self-rescheduling event never drains.
+  std::function<void()> loop = [&] { scheduler.after(1, loop); };
+  scheduler.after(1, loop);
+  EXPECT_THROW(scheduler.run_all(1000), Error);
+}
+
+TEST(MessageBus, DeliversWithDefaultDelay) {
+  Scheduler scheduler;
+  MessageBus<std::string> bus(scheduler, /*default_delay=*/15);
+  std::vector<std::pair<EndpointId, std::string>> received;
+  bus.attach(2, [&](EndpointId from, const std::string& message) {
+    received.emplace_back(from, message);
+  });
+  bus.send(1, 2, "hello");
+  scheduler.run_all();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 1u);
+  EXPECT_EQ(received[0].second, "hello");
+  EXPECT_EQ(scheduler.now(), 15u);
+}
+
+TEST(MessageBus, PerLinkDelayOverride) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  std::vector<int> received;
+  bus.attach(5, [&](EndpointId, int value) { received.push_back(value); });
+  bus.set_delay(1, 5, 50);
+  bus.send(1, 5, 111);  // arrives at t=50
+  bus.send(2, 5, 222);  // arrives at t=10
+  scheduler.run_all();
+  EXPECT_EQ(received, (std::vector<int>{222, 111}));
+}
+
+TEST(MessageBus, MessagesToUnattachedEndpointAreDropped) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler);
+  bus.send(1, 99, 7);
+  EXPECT_NO_THROW(scheduler.run_all());
+}
+
+TEST(MessageBus, PartitionDropsBothNewAndInFlight) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  std::vector<int> received;
+  bus.attach(2, [&](EndpointId, int value) { received.push_back(value); });
+  bus.send(1, 2, 1);                 // in flight when the link dies
+  scheduler.run_until(5);
+  bus.set_link_down(1, 2, true);
+  bus.send(1, 2, 2);                 // dropped immediately
+  scheduler.run_all();
+  EXPECT_TRUE(received.empty());
+  bus.set_link_down(1, 2, false);
+  bus.send(1, 2, 3);
+  scheduler.run_all();
+  EXPECT_EQ(received, (std::vector<int>{3}));
+}
+
+TEST(MessageBus, PartitionIsSymmetric) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler);
+  bus.set_link_down(7, 3, true);
+  EXPECT_TRUE(bus.is_down(3, 7));
+  EXPECT_FALSE(bus.is_down(3, 8));
+}
+
+TEST(MessageBus, OrderedDeliveryPerLink) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  std::vector<int> received;
+  bus.attach(2, [&](EndpointId, int value) { received.push_back(value); });
+  for (int i = 0; i < 10; ++i) bus.send(1, 2, i);
+  scheduler.run_all();
+  std::vector<int> expected(10);
+  for (int i = 0; i < 10; ++i) expected[i] = i;
+  EXPECT_EQ(received, expected);
+}
+
+}  // namespace
+}  // namespace miro::sim

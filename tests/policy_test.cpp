@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "policy/aspath_regex.hpp"
+#include "policy/policy_config.hpp"
+#include "policy/policy_engine.hpp"
+
+namespace miro::policy {
+namespace {
+
+// ------------------------------------------------------------ AS-path regex
+
+TEST(AsPathRegex, UnderscoreMatchesWholeAsNumber) {
+  AsPathRegex regex("_312_");
+  EXPECT_TRUE(regex.matches({100, 312, 200}));
+  EXPECT_TRUE(regex.matches({312}));
+  EXPECT_TRUE(regex.matches({312, 100}));
+  EXPECT_TRUE(regex.matches({100, 312}));
+  EXPECT_FALSE(regex.matches({1312}));
+  EXPECT_FALSE(regex.matches({3120}));
+  EXPECT_FALSE(regex.matches({13120}));
+  EXPECT_FALSE(regex.matches({100, 200}));
+}
+
+TEST(AsPathRegex, AnchorsBindToStartAndEnd) {
+  AsPathRegex starts("^100_");
+  EXPECT_TRUE(starts.matches({100, 200}));
+  EXPECT_FALSE(starts.matches({200, 100}));
+  AsPathRegex ends("_200$");
+  EXPECT_TRUE(ends.matches({100, 200}));
+  EXPECT_FALSE(ends.matches({200, 100}));
+  AsPathRegex exact("^100$");
+  EXPECT_TRUE(exact.matches({100}));
+  EXPECT_FALSE(exact.matches({100, 200}));
+}
+
+TEST(AsPathRegex, EmptyPatternMatchesEmptyPath) {
+  AsPathRegex empty("^$");
+  EXPECT_TRUE(empty.matches({}));
+  EXPECT_FALSE(empty.matches({1}));
+}
+
+TEST(AsPathRegex, AlternationAndGrouping) {
+  AsPathRegex regex("_(701|1239)_");
+  EXPECT_TRUE(regex.matches({100, 701, 200}));
+  EXPECT_TRUE(regex.matches({100, 1239}));
+  EXPECT_FALSE(regex.matches({100, 7011}));
+}
+
+TEST(AsPathRegex, RepetitionOperators) {
+  AsPathRegex star("^10*$");
+  EXPECT_TRUE(star.matches_text("1"));
+  EXPECT_TRUE(star.matches_text("1000"));
+  EXPECT_FALSE(star.matches_text("11"));
+  AsPathRegex plus("^10+$");
+  EXPECT_FALSE(plus.matches_text("1"));
+  EXPECT_TRUE(plus.matches_text("100"));
+  AsPathRegex question("^10?$");
+  EXPECT_TRUE(question.matches_text("1"));
+  EXPECT_TRUE(question.matches_text("10"));
+  EXPECT_FALSE(question.matches_text("100"));
+}
+
+TEST(AsPathRegex, DotAndCharacterClasses) {
+  AsPathRegex dot("^1.3$");
+  EXPECT_TRUE(dot.matches_text("123"));
+  EXPECT_TRUE(dot.matches_text("1x3"));
+  EXPECT_FALSE(dot.matches_text("13"));
+  AsPathRegex digits("^[0-9]+$");
+  EXPECT_TRUE(digits.matches_text("8075"));
+  EXPECT_FALSE(digits.matches_text("80a5"));
+  AsPathRegex negated("^[^5]+$");
+  EXPECT_TRUE(negated.matches_text("1234"));
+  EXPECT_FALSE(negated.matches_text("15"));
+}
+
+TEST(AsPathRegex, SubstringSemanticsByDefault) {
+  AsPathRegex regex("701");
+  EXPECT_TRUE(regex.matches({17012}));  // matches inside a number, as Cisco
+  EXPECT_TRUE(regex.matches({701}));
+}
+
+TEST(AsPathRegex, GroupRepetition) {
+  AsPathRegex regex("^(12 )+34$");
+  EXPECT_TRUE(regex.matches({12, 34}));
+  EXPECT_TRUE(regex.matches({12, 12, 34}));
+  EXPECT_FALSE(regex.matches({34}));
+}
+
+TEST(AsPathRegex, SyntaxErrorsThrow) {
+  EXPECT_THROW(AsPathRegex("(12"), Error);
+  EXPECT_THROW(AsPathRegex("12)"), Error);
+  EXPECT_THROW(AsPathRegex("[12"), Error);
+  EXPECT_THROW(AsPathRegex("*12"), Error);
+  EXPECT_THROW(AsPathRegex("12\\"), Error);  // dangling escape
+}
+
+TEST(AsPathRegex, EscapedLiterals) {
+  AsPathRegex regex("^1\\.2$");
+  EXPECT_TRUE(regex.matches_text("1.2"));
+  EXPECT_FALSE(regex.matches_text("1x2"));
+}
+
+// ----------------------------------------------------------------- parsing
+
+const char* kSection61Example = R"(
+router bgp 100
+!
+neighbor 12.34.56.1 route-map FIX-LOCALPREF in
+neighbor 12.34.56.1 remote-as 1
+!
+route-map FIX-LOCALPREF permit
+match as-path 200
+set local-preference 250
+!
+ip as-path access-list 200 deny _312_
+ip as-path access-list 200 permit .*
+)";
+
+TEST(PolicyConfig, ParsesSection61Example) {
+  const BgpConfig config = parse_config(kSection61Example);
+  EXPECT_EQ(config.local_as, 100u);
+  ASSERT_EQ(config.neighbors.size(), 1u);
+  EXPECT_EQ(config.neighbors[0].remote_as, 1u);
+  EXPECT_EQ(config.neighbors[0].route_map_in, "FIX-LOCALPREF");
+  ASSERT_EQ(config.route_map("FIX-LOCALPREF").size(), 1u);
+  ASSERT_NE(config.access_list(200), nullptr);
+  EXPECT_EQ(config.access_list(200)->entries.size(), 2u);
+}
+
+TEST(PolicyEngine, RouteMapSetsLocalPrefOnPermittedRoutes) {
+  PolicyEngine engine(parse_config(kSection61Example));
+  // Routes avoiding AS 312 fall through the deny to the permit-any entry...
+  // wait: access-list 200 DENIES _312_ and permits everything else, and the
+  // route map permits what the list permits, setting local-pref 250.
+  auto clean = engine.apply_route_map("FIX-LOCALPREF",
+                                      {{100, 200, 300}, 100});
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->local_pref, 250);
+  auto dirty = engine.apply_route_map("FIX-LOCALPREF", {{100, 312}, 100});
+  EXPECT_FALSE(dirty.has_value());  // matched deny entry -> filtered
+}
+
+const char* kSection63Requester = R"(
+router bgp 100
+!
+route-map AVOID_AS permit 10
+match empty path 200
+try negotiation NEG-312
+!
+ip as-path access-list 200 deny _312_
+ip as-path access-list 200 permit .*
+!
+negotiation NEG-312
+match all path _312_
+start negotiation with maximum cost 250
+)";
+
+TEST(PolicyConfig, ParsesSection63RequesterSide) {
+  const BgpConfig config = parse_config(kSection63Requester);
+  const auto clauses = config.route_map("AVOID_AS");
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0]->sequence, 10);
+  EXPECT_EQ(clauses[0]->match_empty_path_acl, 200);
+  EXPECT_EQ(clauses[0]->try_negotiation, "NEG-312");
+  const auto it = config.negotiations.find("NEG-312");
+  ASSERT_NE(it, config.negotiations.end());
+  EXPECT_EQ(it->second.max_cost, 250);
+  ASSERT_TRUE(it->second.target_path_regex.has_value());
+}
+
+TEST(PolicyEngine, TriggerFiresOnlyWhenNoCandidatePasses) {
+  PolicyEngine engine(parse_config(kSection63Requester));
+  // All candidates traverse AS 312: the empty-path condition holds.
+  const std::vector<CandidateRoute> all_bad{{{20, 312, 99}, 400},
+                                            {{30, 40, 312, 99}, 200}};
+  const auto trigger = engine.evaluate_trigger("AVOID_AS", all_bad);
+  ASSERT_TRUE(trigger.has_value());
+  EXPECT_EQ(trigger->negotiation_name, "NEG-312");
+  EXPECT_EQ(trigger->max_cost, 250);
+  // Targets: ASes sitting before 312 on the offending paths, nearest first.
+  EXPECT_EQ(trigger->targets, (std::vector<topo::AsNumber>{20, 30, 40}));
+
+  // One clean candidate suppresses the trigger.
+  const std::vector<CandidateRoute> one_good{{{20, 312, 99}, 400},
+                                             {{50, 60, 99}, 200}};
+  EXPECT_FALSE(engine.evaluate_trigger("AVOID_AS", one_good).has_value());
+}
+
+const char* kSection63Responder = R"(
+router bgp 150
+!
+accept negotiation from any
+when tunnel_number < 1000
+!
+negotiation filter FILTER-1
+filter permit local_pref > 200
+set tunnel_cost 120
+filter permit local_pref > 100
+set tunnel_cost 180
+)";
+
+TEST(PolicyConfig, ParsesSection63ResponderSide) {
+  const BgpConfig config = parse_config(kSection63Responder);
+  ASSERT_TRUE(config.responder.has_value());
+  EXPECT_TRUE(config.responder->accept_any);
+  EXPECT_EQ(config.responder->max_tunnels, 1000u);
+  ASSERT_EQ(config.responder->filters.size(), 2u);
+  EXPECT_EQ(config.responder->filters[0].tunnel_cost, 120);
+  EXPECT_EQ(config.responder->filters[1].tunnel_cost, 180);
+}
+
+TEST(PolicyEngine, ResponderPricingByLocalPrefBand) {
+  PolicyEngine engine(parse_config(kSection63Responder));
+  // Customer routes (local_pref > 200) sell for 120, peer routes for 180,
+  // provider routes (<= 100) are not offered at all.
+  EXPECT_EQ(engine.price_for({{1, 2}, 400}), 120);
+  EXPECT_EQ(engine.price_for({{1, 2}, 150}), 180);
+  EXPECT_FALSE(engine.price_for({{1, 2}, 100}).has_value());
+}
+
+TEST(PolicyEngine, ResponderAdmission) {
+  PolicyEngine engine(parse_config(kSection63Responder));
+  EXPECT_TRUE(engine.admits(42, 0));
+  EXPECT_TRUE(engine.admits(42, 999));
+  EXPECT_FALSE(engine.admits(42, 1000));  // tunnel_number limit reached
+}
+
+TEST(PolicyConfig, AcceptFromSpecificAses) {
+  const BgpConfig config = parse_config(
+      "accept negotiation from as 100 200\nwhen tunnel_number < 5\n");
+  PolicyEngine engine(config);
+  EXPECT_TRUE(engine.admits(100, 0));
+  EXPECT_TRUE(engine.admits(200, 0));
+  EXPECT_FALSE(engine.admits(300, 0));
+}
+
+TEST(PolicyConfig, RouteMapClausesEvaluateInSequenceOrder) {
+  const char* text = R"(
+route-map M permit 20
+match as-path 1
+set local-preference 100
+route-map M deny 10
+match as-path 2
+ip as-path access-list 1 permit .*
+ip as-path access-list 2 permit _666_
+)";
+  PolicyEngine engine(parse_config(text));
+  // Sequence 10 (deny _666_) runs before sequence 20.
+  EXPECT_FALSE(engine.apply_route_map("M", {{666}, 50}).has_value());
+  auto ok = engine.apply_route_map("M", {{100}, 50});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->local_pref, 100);
+}
+
+TEST(PolicyConfig, MalformedStatementsThrowWithLineNumbers) {
+  try {
+    parse_config("router bgp 100\nbogus statement here\n");
+    FAIL() << "expected Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_config("route-map X maybe 10\n"), Error);
+  EXPECT_THROW(parse_config("ip as-path access-list x permit .*\n"), Error);
+  EXPECT_THROW(parse_config("when tunnel_number < 5\n"), Error);  // no block
+  EXPECT_THROW(parse_config("negotiation\n"), Error);
+  EXPECT_THROW(parse_config("set local-preference 10\n"), Error);
+}
+
+TEST(PolicyEngine, UnknownRouteMapThrows) {
+  PolicyEngine engine(parse_config("router bgp 1\n"));
+  EXPECT_THROW(engine.apply_route_map("NOPE", {{1}, 1}), Error);
+}
+
+TEST(PolicyConfig, RandomGarbageNeverCrashes) {
+  // Fuzz-ish robustness: arbitrary token soup must either parse or throw
+  // miro::Error — never crash or hang.
+  Rng rng(0xfeed);
+  const char* words[] = {"router",    "bgp",    "route-map", "permit",
+                         "deny",      "match",  "set",       "negotiation",
+                         "ip",        "as-path", "access-list", "filter",
+                         "when",      "accept", "from",      "any",
+                         "100",       "-5",     "_312_",     "(",
+                         "tunnel_number", "<",  "local_pref", ">",
+                         "!",         "x"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string config;
+    const std::size_t lines = rng.next_below(6) + 1;
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t tokens = rng.next_below(6) + 1;
+      for (std::size_t t = 0; t < tokens; ++t) {
+        config += words[rng.next_below(std::size(words))];
+        config += ' ';
+      }
+      config += '\n';
+    }
+    try {
+      parse_config(config);
+    } catch (const Error&) {
+      // expected for most random inputs
+    }
+  }
+}
+
+TEST(AsPathRegexFuzz, RandomPatternsNeverCrash) {
+  Rng rng(0xbeef);
+  const char alphabet[] = "0123456789 ()|*+?.[]^$_\\";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string pattern;
+    const std::size_t len = rng.next_below(12);
+    for (std::size_t i = 0; i < len; ++i)
+      pattern += alphabet[rng.next_below(sizeof alphabet - 1)];
+    try {
+      AsPathRegex regex(pattern);
+      // Whatever compiled must also match without crashing.
+      regex.matches({100, 200, 300});
+      regex.matches_text("");
+    } catch (const Error&) {
+      // expected for malformed patterns
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miro::policy

@@ -1,0 +1,121 @@
+// Tests for the per-AS Routing Control Platform (Section 4.1): the Figure
+// 4.1 scenario end to end — intra-AS route aggregation, alternate-route
+// requests, tunnel establishment, and tunneled delivery through the AS.
+#include <gtest/gtest.h>
+
+#include "dataplane/rcp.hpp"
+
+namespace miro::dataplane {
+namespace {
+
+constexpr topo::AsNumber kV = 100, kW = 200, kU = 300;
+
+/// Figure 4.1: AS X with routers R1 (internal/ingress), R2 (sessions to V
+/// and W), R3 (session to W); destination AS U behind both V and W.
+struct RcpHarness {
+  RoutingControlPlatform rcp{/*asn=*/1,
+                             EncapsulationScheme::EgressRouterAddress,
+                             *net::Prefix::parse("12.34.56.0/24")};
+  RoutingControlPlatform::RouterId r1, r2, r3;
+  RoutingControlPlatform::ExitLinkId to_v, to_w2, to_w3;
+
+  RcpHarness(EncapsulationScheme scheme =
+                 EncapsulationScheme::EgressRouterAddress)
+      : rcp(1, scheme, *net::Prefix::parse("12.34.56.0/24")) {
+    r1 = rcp.add_router(net::Ipv4Address(12, 34, 56, 2));
+    r2 = rcp.add_router(net::Ipv4Address(12, 34, 56, 3));
+    r3 = rcp.add_router(net::Ipv4Address(12, 34, 56, 4));
+    rcp.add_internal_link(r1, r2, 5);
+    rcp.add_internal_link(r1, r3, 10);
+    rcp.add_internal_link(r2, r3, 4);
+    to_v = rcp.add_exit_link(r2, kV);
+    to_w2 = rcp.add_exit_link(r2, kW);
+    to_w3 = rcp.add_exit_link(r3, kW);
+    rcp.learn_route(r2, {kV, kU}, 100, net::Ipv4Address(9, 0, 0, 1));
+    rcp.learn_route(r2, {kW, kU}, 100, net::Ipv4Address(9, 0, 0, 2));
+    rcp.learn_route(r3, {kW, kU}, 100, net::Ipv4Address(9, 0, 0, 3));
+    rcp.converge();
+  }
+};
+
+TEST(Rcp, AggregatesAllValidPathsAcrossRouters) {
+  RcpHarness h;
+  const auto paths = h.rcp.all_paths();
+  ASSERT_EQ(paths.size(), 2u);  // VU and WU, each once
+  EXPECT_EQ(paths[0].as_path, (std::vector<topo::AsNumber>{kV, kU}));
+  EXPECT_EQ(paths[1].as_path, (std::vector<topo::AsNumber>{kW, kU}));
+}
+
+TEST(Rcp, AlternatesExcludeDefaultAndAvoidedAs) {
+  RcpHarness h;
+  // Most routers selected WU (R3 keeps its eBGP route, R1 follows the IGP-
+  // closer egress R2 which picked VU by peer address)... whatever wins the
+  // vote, the other path must be offered as the alternate.
+  const auto unconstrained = h.rcp.alternates(std::nullopt);
+  ASSERT_EQ(unconstrained.size(), 1u);
+
+  // Avoiding W must leave only VU (or nothing if VU is the default).
+  const auto avoiding_w = h.rcp.alternates(kW);
+  for (const auto& route : avoiding_w)
+    EXPECT_EQ(std::find(route.as_path.begin(), route.as_path.end(), kW),
+              route.as_path.end());
+
+  // Avoiding U kills everything.
+  EXPECT_TRUE(h.rcp.alternates(kU).empty());
+}
+
+TEST(Rcp, EstablishTunnelBindsExitLinkAndDelivers) {
+  RcpHarness h;
+  const auto binding = h.rcp.establish_tunnel({kV, kU});
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->exit_link, h.to_v);
+
+  // An encapsulated packet entering at R1 leaves on the V exit at R2.
+  net::Packet packet(net::Ipv4Address(1, 0, 0, 1),
+                     net::Ipv4Address(77, 0, 0, 1));
+  packet.encapsulate(net::Ipv4Address(1, 0, 0, 1),
+                     binding->endpoint_address, binding->tunnel_id);
+  const auto record = h.rcp.deliver(std::move(packet), h.r1);
+  EXPECT_TRUE(record.delivered);
+  ASSERT_TRUE(record.exit);
+  EXPECT_EQ(*record.exit, h.to_v);
+  EXPECT_EQ(record.router_path.back(), h.r2);
+}
+
+TEST(Rcp, EstablishTunnelRejectsUnknownPath) {
+  RcpHarness h;
+  EXPECT_FALSE(h.rcp.establish_tunnel({kV, kW, kU}).has_value());
+  EXPECT_FALSE(h.rcp.establish_tunnel({999, kU}).has_value());
+}
+
+TEST(Rcp, ReleaseTunnelInvalidatesDelivery) {
+  RcpHarness h;
+  const auto binding = h.rcp.establish_tunnel({kW, kU});
+  ASSERT_TRUE(binding);
+  h.rcp.release_tunnel(binding->tunnel_id);
+  net::Packet packet(net::Ipv4Address(1, 0, 0, 1),
+                     net::Ipv4Address(77, 0, 0, 1));
+  packet.encapsulate(net::Ipv4Address(1, 0, 0, 1),
+                     binding->endpoint_address, binding->tunnel_id);
+  const auto record = h.rcp.deliver(std::move(packet), h.r1);
+  EXPECT_FALSE(record.delivered);
+}
+
+TEST(Rcp, SharedAddressSchemeHidesTopology) {
+  RcpHarness h(EncapsulationScheme::SharedAddress);
+  const auto binding_v = h.rcp.establish_tunnel({kV, kU});
+  const auto binding_w = h.rcp.establish_tunnel({kW, kU});
+  ASSERT_TRUE(binding_v && binding_w);
+  EXPECT_EQ(binding_v->endpoint_address, binding_w->endpoint_address);
+  EXPECT_EQ(h.rcp.forwarding().exposed_address_count(), 1u);
+}
+
+TEST(Rcp, LearnRouteRequiresDeclaredExit) {
+  RcpHarness h;
+  EXPECT_THROW(h.rcp.learn_route(h.r1, {999, kU}, 100,
+                                 net::Ipv4Address(9, 9, 9, 9)),
+               Error);
+}
+
+}  // namespace
+}  // namespace miro::dataplane

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "bgp/route_solver.hpp"
+#include "bgp/session_bgp.hpp"
+#include "core/tunnel_monitor.hpp"
+#include "scenarios.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::bgp {
+namespace {
+
+using test::Figure31Topology;
+
+struct SessionHarness {
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  SessionedBgpNetwork network{fig.graph, fig.f, scheduler};
+
+  void run() { scheduler.run_all(); }
+};
+
+TEST(SessionBgp, ConvergesToFigure31Routes) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  EXPECT_EQ(h.network.path_of(h.fig.a),
+            (std::vector<topo::NodeId>{h.fig.a, h.fig.b, h.fig.e, h.fig.f}));
+  EXPECT_EQ(h.network.path_of(h.fig.b),
+            (std::vector<topo::NodeId>{h.fig.b, h.fig.e, h.fig.f}));
+  EXPECT_EQ(h.network.path_of(h.fig.c),
+            (std::vector<topo::NodeId>{h.fig.c, h.fig.f}));
+  EXPECT_GT(h.network.stats().updates_sent, 0u);
+}
+
+TEST(SessionBgp, MatchesSolverOnGeneratedTopology) {
+  topo::GeneratorParams params = topo::profile("tiny");
+  params.node_count = 100;
+  const topo::AsGraph graph = topo::generate(params);
+  StableRouteSolver solver(graph);
+  for (topo::NodeId dest : {topo::NodeId{0}, topo::NodeId{50}}) {
+    sim::Scheduler scheduler;
+    SessionedBgpNetwork network(graph, dest, scheduler);
+    network.start();
+    scheduler.run_all(2'000'000);
+    const RoutingTree tree = solver.solve(dest);
+    for (topo::NodeId node = 0; node < graph.node_count(); ++node) {
+      ASSERT_EQ(network.has_route(node), tree.reachable(node))
+          << "node " << node;
+      if (tree.reachable(node)) {
+        EXPECT_EQ(network.path_of(node), tree.path_of(node))
+            << "node " << node << " dest " << dest;
+      }
+    }
+  }
+}
+
+TEST(SessionBgp, LinkFailureWithdrawsAndReroutes) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  // Fail E-F: E loses its direct customer route; B should fall back to its
+  // peer route via C; A follows.
+  h.network.fail_link(h.fig.e, h.fig.f);
+  h.run();
+  ASSERT_TRUE(h.network.has_route(h.fig.b));
+  EXPECT_EQ(h.network.path_of(h.fig.b),
+            (std::vector<topo::NodeId>{h.fig.b, h.fig.c, h.fig.f}));
+  ASSERT_TRUE(h.network.has_route(h.fig.e));
+  // E now reaches F through its peer C.
+  EXPECT_EQ(h.network.path_of(h.fig.e),
+            (std::vector<topo::NodeId>{h.fig.e, h.fig.c, h.fig.f}));
+  ASSERT_TRUE(h.network.has_route(h.fig.a));
+  EXPECT_EQ(h.network.path_of(h.fig.a).back(), h.fig.f);
+  EXPECT_GT(h.network.stats().withdrawals_sent, 0u);
+}
+
+TEST(SessionBgp, LinkRestorationReconverges) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  const auto original_b = h.network.path_of(h.fig.b);
+  h.network.fail_link(h.fig.e, h.fig.f);
+  h.run();
+  ASSERT_NE(h.network.path_of(h.fig.b), original_b);
+  h.network.restore_link(h.fig.e, h.fig.f);
+  h.run();
+  EXPECT_EQ(h.network.path_of(h.fig.b), original_b);
+  EXPECT_EQ(h.network.path_of(h.fig.a),
+            (std::vector<topo::NodeId>{h.fig.a, h.fig.b, h.fig.e, h.fig.f}));
+}
+
+TEST(SessionBgp, PartitionLeavesNoGhostRoutes) {
+  // Cut F off entirely: everyone must end up with no route.
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  h.network.fail_link(h.fig.e, h.fig.f);
+  h.network.fail_link(h.fig.c, h.fig.f);
+  h.run();
+  for (topo::NodeId node : {h.fig.a, h.fig.b, h.fig.c, h.fig.d, h.fig.e})
+    EXPECT_FALSE(h.network.has_route(node)) << "node " << node;
+}
+
+TEST(SessionBgp, ObserverSeesRouteChanges) {
+  SessionHarness h;
+  std::size_t changes_at_b = 0;
+  h.network.set_observer(
+      [&](topo::NodeId node, const std::optional<Route>&) {
+        if (node == h.fig.b) ++changes_at_b;
+      });
+  h.network.start();
+  h.run();
+  const std::size_t after_convergence = changes_at_b;
+  EXPECT_GT(after_convergence, 0u);
+  h.network.fail_link(h.fig.e, h.fig.f);
+  h.run();
+  EXPECT_GT(changes_at_b, after_convergence);
+}
+
+TEST(SessionBgp, FailUnknownLinkThrows) {
+  SessionHarness h;
+  EXPECT_THROW(h.network.fail_link(h.fig.a, h.fig.f), Error);
+}
+
+}  // namespace
+}  // namespace miro::bgp
+
+namespace miro::core {
+namespace {
+
+using bgp::SessionedBgpNetwork;
+using test::Figure31Topology;
+
+TEST(TunnelMonitor, DownstreamFailureTearsTunnelDown) {
+  // The Figure 3.1 tunnel (A via B over BCF, negotiated to avoid E) must be
+  // destroyed when the link C-F fails and C's route to F swings through E.
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  SessionedBgpNetwork network(fig.graph, fig.f, scheduler);
+
+  TunnelMonitor monitor;
+  monitor.watch({/*id=*/7, /*upstream=*/fig.a, /*responder=*/fig.b,
+                 /*destination=*/fig.f,
+                 /*bound_path=*/{fig.b, fig.c, fig.f},
+                 /*must_avoid=*/fig.e, /*strict_binding=*/false});
+
+  std::vector<net::TunnelId> torn;
+  network.set_observer([&](topo::NodeId node,
+                           const std::optional<bgp::Route>& best) {
+    std::optional<std::vector<topo::NodeId>> path;
+    if (best) path = best->path;
+    for (const auto& tunnel :
+         monitor.on_downstream_change(node, fig.f, path))
+      torn.push_back(tunnel.id);
+  });
+
+  network.start();
+  scheduler.run_all();
+  EXPECT_TRUE(torn.empty()) << "tunnel must survive initial convergence";
+  ASSERT_EQ(monitor.watched_count(), 1u);
+
+  network.fail_link(fig.c, fig.f);
+  scheduler.run_all();
+  // C's best toward F is now C-E-F, which traverses E: teardown.
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn[0], 7u);
+  EXPECT_EQ(monitor.watched_count(), 0u);
+}
+
+TEST(TunnelMonitor, CarrierFailureTearsTunnelDown) {
+  // "AS A will tear down the tunnel if the path AB ... fails."
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  // Routes toward B are the tunnel carrier.
+  SessionedBgpNetwork carrier_network(fig.graph, fig.b, scheduler);
+
+  TunnelMonitor monitor;
+  monitor.watch({/*id=*/7, fig.a, fig.b, fig.f,
+                 {fig.b, fig.c, fig.f}, fig.e, false});
+
+  std::vector<net::TunnelId> torn;
+  carrier_network.set_observer(
+      [&](topo::NodeId node, const std::optional<bgp::Route>& best) {
+        if (node != fig.a) return;
+        std::optional<std::vector<topo::NodeId>> path;
+        if (best) path = best->path;
+        for (const auto& tunnel :
+             monitor.on_carrier_change(fig.a, fig.b, path))
+          torn.push_back(tunnel.id);
+      });
+  carrier_network.start();
+  scheduler.run_all();
+  EXPECT_TRUE(torn.empty());
+
+  carrier_network.fail_link(fig.a, fig.b);
+  scheduler.run_all();
+  // A has no other valley-free route to B: the carrier failed.
+  EXPECT_FALSE(carrier_network.has_route(fig.a));
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn[0], 7u);
+}
+
+TEST(TunnelMonitor, CarrierDetourThroughAvoidedAsTearsDown) {
+  TunnelMonitor monitor;
+  monitor.watch({3, /*upstream=*/10, /*responder=*/20, /*destination=*/30,
+                 {20, 25, 30}, /*must_avoid=*/topo::NodeId{99}, false});
+  // A carrier change that stays clean keeps the tunnel.
+  EXPECT_TRUE(monitor
+                  .on_carrier_change(10, 20,
+                                     std::vector<topo::NodeId>{10, 11, 20})
+                  .empty());
+  // One that now traverses the avoided AS kills it.
+  const auto torn = monitor.on_carrier_change(
+      10, 20, std::vector<topo::NodeId>{10, 99, 20});
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn[0].id, 3u);
+}
+
+TEST(TunnelMonitor, StrictBindingTearsDownOnAnyDeviation) {
+  TunnelMonitor monitor;
+  monitor.watch({4, 10, 20, 30, {20, 25, 30}, std::nullopt,
+                 /*strict_binding=*/true});
+  // Same suffix: survives.
+  EXPECT_TRUE(monitor
+                  .on_downstream_change(25, 30,
+                                        std::vector<topo::NodeId>{25, 30})
+                  .empty());
+  // Different suffix: torn down even though nothing "failed".
+  const auto torn = monitor.on_downstream_change(
+      25, 30, std::vector<topo::NodeId>{25, 26, 30});
+  ASSERT_EQ(torn.size(), 1u);
+}
+
+TEST(TunnelMonitor, UnwatchStopsTracking) {
+  TunnelMonitor monitor;
+  monitor.watch({5, 10, 20, 30, {20, 25, 30}, std::nullopt, false});
+  EXPECT_TRUE(monitor.unwatch(20, 5));
+  EXPECT_FALSE(monitor.unwatch(20, 5));
+  EXPECT_TRUE(monitor.on_downstream_change(25, 30, std::nullopt).empty());
+}
+
+TEST(TunnelMonitor, UnrelatedChangesAreIgnored) {
+  TunnelMonitor monitor;
+  monitor.watch({6, 10, 20, 30, {20, 25, 30}, std::nullopt, false});
+  EXPECT_TRUE(monitor.on_carrier_change(11, 20, std::nullopt).empty());
+  EXPECT_TRUE(monitor.on_carrier_change(10, 21, std::nullopt).empty());
+  EXPECT_TRUE(monitor.on_downstream_change(26, 30, std::nullopt).empty());
+  EXPECT_TRUE(monitor.on_downstream_change(25, 31, std::nullopt).empty());
+  EXPECT_EQ(monitor.watched_count(), 1u);
+}
+
+}  // namespace
+}  // namespace miro::core
