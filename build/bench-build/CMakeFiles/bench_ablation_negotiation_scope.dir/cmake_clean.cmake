@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_negotiation_scope"
+  "../bench/bench_ablation_negotiation_scope.pdb"
+  "CMakeFiles/bench_ablation_negotiation_scope.dir/bench_ablation_negotiation_scope.cpp.o"
+  "CMakeFiles/bench_ablation_negotiation_scope.dir/bench_ablation_negotiation_scope.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_negotiation_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

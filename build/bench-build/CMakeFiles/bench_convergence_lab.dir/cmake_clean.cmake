@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_convergence_lab"
+  "../bench/bench_convergence_lab.pdb"
+  "CMakeFiles/bench_convergence_lab.dir/bench_convergence_lab.cpp.o"
+  "CMakeFiles/bench_convergence_lab.dir/bench_convergence_lab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_5_1_degree_distribution"
+  "../bench/bench_fig_5_1_degree_distribution.pdb"
+  "CMakeFiles/bench_fig_5_1_degree_distribution.dir/bench_fig_5_1_degree_distribution.cpp.o"
+  "CMakeFiles/bench_fig_5_1_degree_distribution.dir/bench_fig_5_1_degree_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_5_1_degree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_5_4_5_5_incremental"
+  "../bench/bench_fig_5_4_5_5_incremental.pdb"
+  "CMakeFiles/bench_fig_5_4_5_5_incremental.dir/bench_fig_5_4_5_5_incremental.cpp.o"
+  "CMakeFiles/bench_fig_5_4_5_5_incremental.dir/bench_fig_5_4_5_5_incremental.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_5_4_5_5_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_5_6_5_7_traffic_control"
+  "../bench/bench_fig_5_6_5_7_traffic_control.pdb"
+  "CMakeFiles/bench_fig_5_6_5_7_traffic_control.dir/bench_fig_5_6_5_7_traffic_control.cpp.o"
+  "CMakeFiles/bench_fig_5_6_5_7_traffic_control.dir/bench_fig_5_6_5_7_traffic_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_5_6_5_7_traffic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

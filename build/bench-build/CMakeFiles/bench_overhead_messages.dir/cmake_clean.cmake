@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overhead_messages"
+  "../bench/bench_overhead_messages.pdb"
+  "CMakeFiles/bench_overhead_messages.dir/bench_overhead_messages.cpp.o"
+  "CMakeFiles/bench_overhead_messages.dir/bench_overhead_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_5_2_avoid_success"
+  "../bench/bench_table_5_2_avoid_success.pdb"
+  "CMakeFiles/bench_table_5_2_avoid_success.dir/bench_table_5_2_avoid_success.cpp.o"
+  "CMakeFiles/bench_table_5_2_avoid_success.dir/bench_table_5_2_avoid_success.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_5_2_avoid_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

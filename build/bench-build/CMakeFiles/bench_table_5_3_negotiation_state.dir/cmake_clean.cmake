@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_5_3_negotiation_state"
+  "../bench/bench_table_5_3_negotiation_state.pdb"
+  "CMakeFiles/bench_table_5_3_negotiation_state.dir/bench_table_5_3_negotiation_state.cpp.o"
+  "CMakeFiles/bench_table_5_3_negotiation_state.dir/bench_table_5_3_negotiation_state.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_5_3_negotiation_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoid_as.dir/avoid_as.cpp.o"
+  "CMakeFiles/avoid_as.dir/avoid_as.cpp.o.d"
+  "avoid_as"
+  "avoid_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoid_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

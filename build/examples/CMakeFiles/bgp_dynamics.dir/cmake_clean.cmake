@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_dynamics.dir/bgp_dynamics.cpp.o"
+  "CMakeFiles/bgp_dynamics.dir/bgp_dynamics.cpp.o.d"
+  "bgp_dynamics"
+  "bgp_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

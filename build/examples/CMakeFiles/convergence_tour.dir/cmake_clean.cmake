@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_tour.dir/convergence_tour.cpp.o"
+  "CMakeFiles/convergence_tour.dir/convergence_tour.cpp.o.d"
+  "convergence_tour"
+  "convergence_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

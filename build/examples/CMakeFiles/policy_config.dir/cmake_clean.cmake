@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_config.dir/policy_config.cpp.o"
+  "CMakeFiles/policy_config.dir/policy_config.cpp.o.d"
+  "policy_config"
+  "policy_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

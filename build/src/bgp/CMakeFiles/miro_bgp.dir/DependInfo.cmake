@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/decision_process.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/decision_process.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/decision_process.cpp.o.d"
+  "/root/repo/src/bgp/gao_rexford.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/gao_rexford.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/gao_rexford.cpp.o.d"
+  "/root/repo/src/bgp/path_vector_engine.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/path_vector_engine.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/path_vector_engine.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/route_solver.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/route_solver.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/route_solver.cpp.o.d"
+  "/root/repo/src/bgp/router_level.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/router_level.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/router_level.cpp.o.d"
+  "/root/repo/src/bgp/session_bgp.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/session_bgp.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/session_bgp.cpp.o.d"
+  "/root/repo/src/bgp/table_format.cpp" "src/bgp/CMakeFiles/miro_bgp.dir/table_format.cpp.o" "gcc" "src/bgp/CMakeFiles/miro_bgp.dir/table_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/miro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/miro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_bgp.dir/decision_process.cpp.o"
+  "CMakeFiles/miro_bgp.dir/decision_process.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/gao_rexford.cpp.o"
+  "CMakeFiles/miro_bgp.dir/gao_rexford.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/path_vector_engine.cpp.o"
+  "CMakeFiles/miro_bgp.dir/path_vector_engine.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/route.cpp.o"
+  "CMakeFiles/miro_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/route_solver.cpp.o"
+  "CMakeFiles/miro_bgp.dir/route_solver.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/router_level.cpp.o"
+  "CMakeFiles/miro_bgp.dir/router_level.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/session_bgp.cpp.o"
+  "CMakeFiles/miro_bgp.dir/session_bgp.cpp.o.d"
+  "CMakeFiles/miro_bgp.dir/table_format.cpp.o"
+  "CMakeFiles/miro_bgp.dir/table_format.cpp.o.d"
+  "libmiro_bgp.a"
+  "libmiro_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

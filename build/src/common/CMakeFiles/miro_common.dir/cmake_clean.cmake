@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_common.dir/rng.cpp.o"
+  "CMakeFiles/miro_common.dir/rng.cpp.o.d"
+  "CMakeFiles/miro_common.dir/stats.cpp.o"
+  "CMakeFiles/miro_common.dir/stats.cpp.o.d"
+  "CMakeFiles/miro_common.dir/strings.cpp.o"
+  "CMakeFiles/miro_common.dir/strings.cpp.o.d"
+  "CMakeFiles/miro_common.dir/table.cpp.o"
+  "CMakeFiles/miro_common.dir/table.cpp.o.d"
+  "libmiro_common.a"
+  "libmiro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_convergence.dir/gadgets.cpp.o"
+  "CMakeFiles/miro_convergence.dir/gadgets.cpp.o.d"
+  "CMakeFiles/miro_convergence.dir/model.cpp.o"
+  "CMakeFiles/miro_convergence.dir/model.cpp.o.d"
+  "libmiro_convergence.a"
+  "libmiro_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmiro_convergence.a"
+)

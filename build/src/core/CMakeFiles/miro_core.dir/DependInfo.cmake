@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alternates.cpp" "src/core/CMakeFiles/miro_core.dir/alternates.cpp.o" "gcc" "src/core/CMakeFiles/miro_core.dir/alternates.cpp.o.d"
+  "/root/repo/src/core/export_policy.cpp" "src/core/CMakeFiles/miro_core.dir/export_policy.cpp.o" "gcc" "src/core/CMakeFiles/miro_core.dir/export_policy.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/miro_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/miro_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/tunnel.cpp" "src/core/CMakeFiles/miro_core.dir/tunnel.cpp.o" "gcc" "src/core/CMakeFiles/miro_core.dir/tunnel.cpp.o.d"
+  "/root/repo/src/core/tunnel_monitor.cpp" "src/core/CMakeFiles/miro_core.dir/tunnel_monitor.cpp.o" "gcc" "src/core/CMakeFiles/miro_core.dir/tunnel_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/miro_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/miro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/miro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

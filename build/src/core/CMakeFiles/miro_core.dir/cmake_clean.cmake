@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_core.dir/alternates.cpp.o"
+  "CMakeFiles/miro_core.dir/alternates.cpp.o.d"
+  "CMakeFiles/miro_core.dir/export_policy.cpp.o"
+  "CMakeFiles/miro_core.dir/export_policy.cpp.o.d"
+  "CMakeFiles/miro_core.dir/protocol.cpp.o"
+  "CMakeFiles/miro_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/miro_core.dir/tunnel.cpp.o"
+  "CMakeFiles/miro_core.dir/tunnel.cpp.o.d"
+  "CMakeFiles/miro_core.dir/tunnel_monitor.cpp.o"
+  "CMakeFiles/miro_core.dir/tunnel_monitor.cpp.o.d"
+  "libmiro_core.a"
+  "libmiro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_dataplane.dir/classifier.cpp.o"
+  "CMakeFiles/miro_dataplane.dir/classifier.cpp.o.d"
+  "CMakeFiles/miro_dataplane.dir/encapsulation.cpp.o"
+  "CMakeFiles/miro_dataplane.dir/encapsulation.cpp.o.d"
+  "CMakeFiles/miro_dataplane.dir/forwarding.cpp.o"
+  "CMakeFiles/miro_dataplane.dir/forwarding.cpp.o.d"
+  "CMakeFiles/miro_dataplane.dir/rcp.cpp.o"
+  "CMakeFiles/miro_dataplane.dir/rcp.cpp.o.d"
+  "libmiro_dataplane.a"
+  "libmiro_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

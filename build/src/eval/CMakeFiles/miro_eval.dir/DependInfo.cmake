@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/avoid_as.cpp" "src/eval/CMakeFiles/miro_eval.dir/avoid_as.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/avoid_as.cpp.o.d"
+  "/root/repo/src/eval/dataset_report.cpp" "src/eval/CMakeFiles/miro_eval.dir/dataset_report.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/dataset_report.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/eval/CMakeFiles/miro_eval.dir/experiments.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/experiments.cpp.o.d"
+  "/root/repo/src/eval/path_diversity.cpp" "src/eval/CMakeFiles/miro_eval.dir/path_diversity.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/path_diversity.cpp.o.d"
+  "/root/repo/src/eval/te_comparison.cpp" "src/eval/CMakeFiles/miro_eval.dir/te_comparison.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/te_comparison.cpp.o.d"
+  "/root/repo/src/eval/traffic_control.cpp" "src/eval/CMakeFiles/miro_eval.dir/traffic_control.cpp.o" "gcc" "src/eval/CMakeFiles/miro_eval.dir/traffic_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/miro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/miro_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/miro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/miro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_eval.dir/avoid_as.cpp.o"
+  "CMakeFiles/miro_eval.dir/avoid_as.cpp.o.d"
+  "CMakeFiles/miro_eval.dir/dataset_report.cpp.o"
+  "CMakeFiles/miro_eval.dir/dataset_report.cpp.o.d"
+  "CMakeFiles/miro_eval.dir/experiments.cpp.o"
+  "CMakeFiles/miro_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/miro_eval.dir/path_diversity.cpp.o"
+  "CMakeFiles/miro_eval.dir/path_diversity.cpp.o.d"
+  "CMakeFiles/miro_eval.dir/te_comparison.cpp.o"
+  "CMakeFiles/miro_eval.dir/te_comparison.cpp.o.d"
+  "CMakeFiles/miro_eval.dir/traffic_control.cpp.o"
+  "CMakeFiles/miro_eval.dir/traffic_control.cpp.o.d"
+  "libmiro_eval.a"
+  "libmiro_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

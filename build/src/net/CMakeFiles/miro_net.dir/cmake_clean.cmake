@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_net.dir/address.cpp.o"
+  "CMakeFiles/miro_net.dir/address.cpp.o.d"
+  "CMakeFiles/miro_net.dir/packet.cpp.o"
+  "CMakeFiles/miro_net.dir/packet.cpp.o.d"
+  "libmiro_net.a"
+  "libmiro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

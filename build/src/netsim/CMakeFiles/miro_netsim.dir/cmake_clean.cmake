@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_netsim.dir/scheduler.cpp.o"
+  "CMakeFiles/miro_netsim.dir/scheduler.cpp.o.d"
+  "libmiro_netsim.a"
+  "libmiro_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/aspath_regex.cpp" "src/policy/CMakeFiles/miro_policy.dir/aspath_regex.cpp.o" "gcc" "src/policy/CMakeFiles/miro_policy.dir/aspath_regex.cpp.o.d"
+  "/root/repo/src/policy/policy_config.cpp" "src/policy/CMakeFiles/miro_policy.dir/policy_config.cpp.o" "gcc" "src/policy/CMakeFiles/miro_policy.dir/policy_config.cpp.o.d"
+  "/root/repo/src/policy/policy_engine.cpp" "src/policy/CMakeFiles/miro_policy.dir/policy_engine.cpp.o" "gcc" "src/policy/CMakeFiles/miro_policy.dir/policy_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/miro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

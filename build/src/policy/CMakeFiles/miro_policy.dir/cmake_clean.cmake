@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_policy.dir/aspath_regex.cpp.o"
+  "CMakeFiles/miro_policy.dir/aspath_regex.cpp.o.d"
+  "CMakeFiles/miro_policy.dir/policy_config.cpp.o"
+  "CMakeFiles/miro_policy.dir/policy_config.cpp.o.d"
+  "CMakeFiles/miro_policy.dir/policy_engine.cpp.o"
+  "CMakeFiles/miro_policy.dir/policy_engine.cpp.o.d"
+  "libmiro_policy.a"
+  "libmiro_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

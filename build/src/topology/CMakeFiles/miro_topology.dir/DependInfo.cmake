@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/miro_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/miro_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/inference.cpp" "src/topology/CMakeFiles/miro_topology.dir/inference.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/inference.cpp.o.d"
+  "/root/repo/src/topology/metrics.cpp" "src/topology/CMakeFiles/miro_topology.dir/metrics.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/metrics.cpp.o.d"
+  "/root/repo/src/topology/serialization.cpp" "src/topology/CMakeFiles/miro_topology.dir/serialization.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/serialization.cpp.o.d"
+  "/root/repo/src/topology/sibling_contraction.cpp" "src/topology/CMakeFiles/miro_topology.dir/sibling_contraction.cpp.o" "gcc" "src/topology/CMakeFiles/miro_topology.dir/sibling_contraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

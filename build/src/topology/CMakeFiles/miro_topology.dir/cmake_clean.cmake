@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/miro_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/miro_topology.dir/generator.cpp.o"
+  "CMakeFiles/miro_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/miro_topology.dir/inference.cpp.o"
+  "CMakeFiles/miro_topology.dir/inference.cpp.o.d"
+  "CMakeFiles/miro_topology.dir/metrics.cpp.o"
+  "CMakeFiles/miro_topology.dir/metrics.cpp.o.d"
+  "CMakeFiles/miro_topology.dir/serialization.cpp.o"
+  "CMakeFiles/miro_topology.dir/serialization.cpp.o.d"
+  "CMakeFiles/miro_topology.dir/sibling_contraction.cpp.o"
+  "CMakeFiles/miro_topology.dir/sibling_contraction.cpp.o.d"
+  "libmiro_topology.a"
+  "libmiro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contraction_and_format_test.dir/contraction_and_format_test.cpp.o"
+  "CMakeFiles/contraction_and_format_test.dir/contraction_and_format_test.cpp.o.d"
+  "contraction_and_format_test"
+  "contraction_and_format_test.pdb"
+  "contraction_and_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contraction_and_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_sweep_test.dir/failure_sweep_test.cpp.o"
+  "CMakeFiles/failure_sweep_test.dir/failure_sweep_test.cpp.o.d"
+  "failure_sweep_test"
+  "failure_sweep_test.pdb"
+  "failure_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gao_rexford_test.dir/gao_rexford_test.cpp.o"
+  "CMakeFiles/gao_rexford_test.dir/gao_rexford_test.cpp.o.d"
+  "gao_rexford_test"
+  "gao_rexford_test.pdb"
+  "gao_rexford_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gao_rexford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/miro_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/miro_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/miro_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/miro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/miro_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/miro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/miro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_tunnels_test.dir/split_tunnels_test.cpp.o"
+  "CMakeFiles/split_tunnels_test.dir/split_tunnels_test.cpp.o.d"
+  "split_tunnels_test"
+  "split_tunnels_test.pdb"
+  "split_tunnels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_tunnels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

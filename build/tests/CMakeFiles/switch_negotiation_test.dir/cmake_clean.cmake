@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_negotiation_test.dir/switch_negotiation_test.cpp.o"
+  "CMakeFiles/switch_negotiation_test.dir/switch_negotiation_test.cpp.o.d"
+  "switch_negotiation_test"
+  "switch_negotiation_test.pdb"
+  "switch_negotiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_negotiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
