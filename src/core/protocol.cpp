@@ -3,13 +3,15 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace miro::core {
 
 MiroAgent::MiroAgent(NodeId self, RouteStore& store, Bus& bus,
                      ResponderConfig responder, SoftStateConfig soft_state)
     : self_(self), store_(&store), bus_(&bus),
-      responder_(std::move(responder)), soft_state_(soft_state) {
+      responder_(std::move(responder)), soft_state_(soft_state),
+      rng_(hash_combine(soft_state.rng_seed, self)) {
   if (!responder_.accept_from)
     responder_.accept_from = [](NodeId) { return true; };
   if (!responder_.price) {
@@ -42,6 +44,123 @@ MiroAgent::MiroAgent(NodeId self, RouteStore& store, Bus& bus,
   schedule_sweep();
 }
 
+// ------------------------------------------------------ reliability helpers
+
+sim::Time MiroAgent::retry_delay(std::uint32_t attempt) {
+  sim::Time rto = soft_state_.retry_initial;
+  for (std::uint32_t i = 0; i < attempt && rto < soft_state_.retry_max; ++i)
+    rto *= 2;
+  rto = std::min(rto, soft_state_.retry_max);
+  const auto span = static_cast<sim::Time>(soft_state_.retry_jitter *
+                                           static_cast<double>(rto));
+  return span == 0 ? rto : rto + rng_.next_below(span + 1);
+}
+
+void MiroAgent::send_handshake(std::uint64_t id) {
+  const PendingRequest& p = pending_.at(id);
+  if (p.phase == PendingRequest::Phase::AwaitingOffers) {
+    bus_->send(self_, p.responder,
+               RouteRequest{id, p.destination, p.arrival_neighbor, p.avoid,
+                            p.max_cost});
+  } else {
+    bus_->send(self_, p.responder, TunnelAccept{id, p.chosen, p.chosen_cost});
+  }
+}
+
+void MiroAgent::arm_retry(std::uint64_t id) {
+  PendingRequest& p = pending_.at(id);
+  if (p.attempts >= soft_state_.max_retries) return;  // backstop takes over
+  p.retry =
+      bus_->scheduler().after(retry_delay(p.attempts), [this, id]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;  // completed meanwhile
+        ++it->second.attempts;
+        ++stats_.retransmissions;
+        send_handshake(id);
+        arm_retry(id);
+      });
+}
+
+void MiroAgent::complete(std::uint64_t id, const NegotiationOutcome& outcome) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.retry.cancel();
+  it->second.timeout.cancel();
+  auto callback = std::move(it->second.on_complete);
+  pending_.erase(it);
+  if (outcome.established) {
+    completed_[id] = CompletedRequest{outcome.responder, outcome.tunnel_id,
+                                      bus_->scheduler().now()};
+  }
+  callback(outcome);
+}
+
+void MiroAgent::send_teardown(NodeId responder, TunnelId tunnel_id,
+                              std::uint32_t attempt) {
+  bus_->send(self_, responder, TunnelTeardown{tunnel_id});
+  if (attempt >= soft_state_.teardown_retransmits) return;
+  // Teardown carries no acknowledgment, so the extra copies are sent blind;
+  // the responder's soft-state expiry covers the case where all are lost.
+  bus_->scheduler().after(retry_delay(attempt),
+                          [this, responder, tunnel_id, attempt]() {
+                            ++stats_.retransmissions;
+                            send_teardown(responder, tunnel_id, attempt + 1);
+                          });
+}
+
+void MiroAgent::fail_over(TunnelId tunnel_id, TunnelLostEvent::Reason reason) {
+  auto it = upstream_.find(tunnel_id);
+  if (it == upstream_.end()) return;
+  const UpstreamTunnel lost = it->second;
+  upstream_.erase(it);
+  ++stats_.tunnels_failed_over;
+
+  // From here traffic to `lost.destination` rides the BGP default path
+  // again; re-negotiation (if enabled) is rate-limited per
+  // (responder, destination) by the hold-down window so a flapping link
+  // cannot drive a request storm.
+  bool will_renegotiate = false;
+  if (soft_state_.auto_renegotiate &&
+      lost.destination != topo::kInvalidNode) {
+    const std::uint64_t key = hash_combine(lost.responder, lost.destination);
+    const sim::Time now = bus_->scheduler().now();
+    sim::Time& until = hold_down_until_[key];
+    if (now >= until) {
+      until = now + soft_state_.renegotiate_hold_down;
+      will_renegotiate = true;
+      bus_->scheduler().after(soft_state_.renegotiate_hold_down,
+                              [this, lost]() {
+                                ++stats_.renegotiations;
+                                request(lost.responder, lost.arrival_neighbor,
+                                        lost.destination, lost.avoid,
+                                        lost.max_cost,
+                                        [this](const NegotiationOutcome& o) {
+                                          if (on_renegotiated_)
+                                            on_renegotiated_(o);
+                                        });
+                              });
+    }
+  }
+  if (on_tunnel_lost_) {
+    on_tunnel_lost_(TunnelLostEvent{tunnel_id, lost.responder,
+                                    lost.destination, reason,
+                                    will_renegotiate});
+  }
+}
+
+void MiroAgent::purge_dedup(sim::Time now) {
+  if (now < soft_state_.dedup_retention) return;
+  const sim::Time horizon = now - soft_state_.dedup_retention;
+  std::erase_if(completed_,
+                [&](const auto& kv) { return kv.second.at < horizon; });
+  std::erase_if(minted_,
+                [&](const auto& kv) { return kv.second.at < horizon; });
+  std::erase_if(hold_down_until_,
+                [&](const auto& kv) { return kv.second < horizon; });
+}
+
+// --------------------------------------------------------------- requester
+
 std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
                                  NodeId destination,
                                  std::optional<NodeId> avoid,
@@ -49,31 +168,40 @@ std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
                                  CompletionCallback on_complete) {
   require(static_cast<bool>(on_complete), "MiroAgent::request: null callback");
   const std::uint64_t id = next_negotiation_id_++;
-  pending_.emplace(id, PendingRequest{responder, destination, avoid, max_cost,
-                                      std::move(on_complete), 0});
+  PendingRequest& p =
+      pending_
+          .emplace(id, PendingRequest{responder, arrival_neighbor,
+                                      destination, avoid, max_cost,
+                                      std::move(on_complete), 0,
+                                      PendingRequest::Phase::AwaitingOffers,
+                                      Route{}, 0, 0, {}, {}})
+          .first->second;
   ++stats_.requests_sent;
-  bus_->send(self_, responder,
-             RouteRequest{id, destination, arrival_neighbor, avoid, max_cost});
-  // Fail locally if the responder stays silent (crashed peer, partitioned
-  // link): the callback must fire exactly once either way.
-  bus_->scheduler().after(soft_state_.negotiation_timeout, [this, id]() {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;  // completed in time
-    NegotiationOutcome outcome;
-    outcome.responder = it->second.responder;
-    outcome.offers_received = it->second.offers_received;
-    auto callback = std::move(it->second.on_complete);
-    pending_.erase(it);
-    callback(outcome);
-  });
+  send_handshake(id);
+  arm_retry(id);
+  // Fail locally if the responder stays silent past every retransmission
+  // (crashed peer, partitioned link): the callback must fire exactly once
+  // either way. complete() cancels this timer, and negotiation ids are
+  // never recycled, so a stale closure can never fail a later negotiation.
+  p.timeout =
+      bus_->scheduler().after(soft_state_.negotiation_timeout, [this, id]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;  // completed in time
+        ++stats_.negotiations_abandoned;
+        NegotiationOutcome outcome;
+        outcome.responder = it->second.responder;
+        outcome.offers_received = it->second.offers_received;
+        complete(id, outcome);
+      });
   return id;
 }
 
 void MiroAgent::teardown(TunnelId tunnel_id) {
   auto it = upstream_.find(tunnel_id);
   if (it == upstream_.end()) return;
-  bus_->send(self_, it->second, TunnelTeardown{tunnel_id});
-  upstream_.erase(it);
+  const NodeId responder = it->second.responder;
+  upstream_.erase(it);  // stops the keep-alive loop
+  send_teardown(responder, tunnel_id, 0);
 }
 
 void MiroAgent::on_message(sim::EndpointId from, const Message& message) {
@@ -127,6 +255,12 @@ void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
   auto it = pending_.find(offers.negotiation_id);
   if (it == pending_.end() || it->second.responder != from) return;
   PendingRequest& pending = it->second;
+  if (pending.phase != PendingRequest::Phase::AwaitingOffers) {
+    // A duplicated or retransmission-induced second batch of offers after
+    // the accept went out; the accept has its own retransmission timer.
+    ++stats_.duplicates_suppressed;
+    return;
+  }
   pending.offers_received = offers.offers.size();
 
   // Pick the cheapest acceptable offer; break price ties with the standard
@@ -145,49 +279,108 @@ void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
     NegotiationOutcome outcome;
     outcome.responder = from;
     outcome.offers_received = pending.offers_received;
-    auto callback = std::move(pending.on_complete);
-    pending_.erase(it);
-    callback(outcome);
+    complete(offers.negotiation_id, outcome);
     return;
   }
-  bus_->send(self_, from,
-             TunnelAccept{offers.negotiation_id, best->route, best->cost});
+  pending.retry.cancel();
+  pending.phase = PendingRequest::Phase::AwaitingConfirm;
+  pending.chosen = best->route;
+  pending.chosen_cost = best->cost;
+  pending.attempts = 0;
+  send_handshake(offers.negotiation_id);
+  arm_retry(offers.negotiation_id);
 }
 
 void MiroAgent::handle(NodeId from, const TunnelAccept& accept) {
-  // Downstream side: allocate the identifier and install state.
-  const TunnelId id = tunnels_.create(from, accept.chosen, accept.cost,
-                                      bus_->scheduler().now());
+  // Downstream side. Idempotence first: a duplicated (or retransmitted)
+  // accept must never mint a second tunnel for the same negotiation — the
+  // cached confirm is re-sent instead.
+  const std::uint64_t key = hash_combine(from, accept.negotiation_id);
+  auto it = minted_.find(key);
+  if (it != minted_.end() && it->second.requester == from &&
+      it->second.negotiation_id == accept.negotiation_id) {
+    ++stats_.duplicates_suppressed;
+    bus_->send(self_, from,
+               TunnelConfirm{accept.negotiation_id, it->second.tunnel_id});
+    return;
+  }
+  const sim::Time now = bus_->scheduler().now();
+  const TunnelId id = tunnels_.create(from, accept.chosen, accept.cost, now);
   ++stats_.tunnels_established;
+  minted_[key] = MintedTunnel{from, accept.negotiation_id, id, now};
   bus_->send(self_, from, TunnelConfirm{accept.negotiation_id, id});
 }
 
 void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
   auto it = pending_.find(confirm.negotiation_id);
-  if (it == pending_.end() || it->second.responder != from) return;
-  PendingRequest pending = std::move(it->second);
-  pending_.erase(it);
+  if (it != pending_.end() && it->second.responder == from) {
+    const PendingRequest& pending = it->second;
+    upstream_.emplace(confirm.tunnel_id,
+                      UpstreamTunnel{from, pending.arrival_neighbor,
+                                     pending.destination, pending.avoid,
+                                     pending.max_cost, 0});
+    schedule_keepalive(confirm.tunnel_id);
 
-  upstream_.emplace(confirm.tunnel_id, from);
-  schedule_keepalive(confirm.tunnel_id, from);
+    NegotiationOutcome outcome;
+    outcome.established = true;
+    outcome.responder = from;
+    outcome.tunnel_id = confirm.tunnel_id;
+    outcome.route = pending.chosen;
+    outcome.cost = pending.chosen_cost;
+    outcome.offers_received = pending.offers_received;
+    complete(confirm.negotiation_id, outcome);
+    return;
+  }
 
-  NegotiationOutcome outcome;
-  outcome.established = true;
-  outcome.responder = from;
-  outcome.tunnel_id = confirm.tunnel_id;
-  outcome.offers_received = pending.offers_received;
-  pending.on_complete(outcome);
+  // Duplicate of a negotiation that already completed (the confirm was
+  // duplicated in flight, or our accept retransmission triggered a cached
+  // re-confirm): suppress rather than treating it as stale.
+  auto done = completed_.find(confirm.negotiation_id);
+  if (done != completed_.end() && done->second.responder == from &&
+      done->second.tunnel_id == confirm.tunnel_id) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  // Retention may have forgotten the completion, but a live upstream tunnel
+  // is equally good evidence that this confirm is a duplicate.
+  auto up = upstream_.find(confirm.tunnel_id);
+  if (up != upstream_.end() && up->second.responder == from) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+
+  // A confirm nobody is waiting for: the negotiation timed out locally (or
+  // was never ours) while the responder minted the tunnel. Without a reply
+  // the responder would hold the orphan until soft-state expiry; answer
+  // with a teardown to reclaim it promptly.
+  ++stats_.stale_confirms_reclaimed;
+  send_teardown(from, confirm.tunnel_id, 0);
 }
 
 void MiroAgent::handle(NodeId from, const TunnelKeepAlive& keepalive) {
-  (void)from;
-  tunnels_.heartbeat(keepalive.tunnel_id, bus_->scheduler().now());
+  const bool alive =
+      tunnels_.heartbeat(keepalive.tunnel_id, bus_->scheduler().now());
+  // Always answer: the ack is the upstream side's only liveness signal, and
+  // alive == false tells it the soft state is gone (expired or torn down).
+  bus_->send(self_, from, TunnelKeepAliveAck{keepalive.tunnel_id, alive});
+}
+
+void MiroAgent::handle(NodeId from, const TunnelKeepAliveAck& ack) {
+  auto it = upstream_.find(ack.tunnel_id);
+  if (it == upstream_.end() || it->second.responder != from) return;
+  if (!ack.alive) {
+    fail_over(ack.tunnel_id, TunnelLostEvent::Reason::ResponderReset);
+    return;
+  }
+  it->second.unacked_keepalives = 0;
 }
 
 void MiroAgent::handle(NodeId from, const TunnelTeardown& teardown) {
   (void)from;
   if (tunnels_.remove(teardown.tunnel_id)) ++stats_.tunnels_torn_down;
 }
+
+// ---------------------------------------------------------------- switches
 
 std::uint64_t MiroAgent::request_switch(NodeId responder, NodeId destination,
                                         NodeId desired_next_hop,
@@ -247,20 +440,29 @@ void MiroAgent::handle(NodeId from, const SwitchResponse& response) {
   callback(response.accepted, response.new_path);
 }
 
-void MiroAgent::schedule_keepalive(TunnelId tunnel_id, NodeId responder) {
-  bus_->scheduler().after(soft_state_.keepalive_interval, [this, tunnel_id,
-                                                           responder]() {
-    if (upstream_.find(tunnel_id) == upstream_.end()) return;  // torn down
-    bus_->send(self_, responder, TunnelKeepAlive{tunnel_id});
-    schedule_keepalive(tunnel_id, responder);
+// ------------------------------------------------------------- soft timers
+
+void MiroAgent::schedule_keepalive(TunnelId tunnel_id) {
+  bus_->scheduler().after(soft_state_.keepalive_interval, [this, tunnel_id]() {
+    auto it = upstream_.find(tunnel_id);
+    if (it == upstream_.end()) return;  // torn down or failed over
+    if (it->second.unacked_keepalives >=
+        soft_state_.keepalive_miss_threshold) {
+      fail_over(tunnel_id, TunnelLostEvent::Reason::MissedKeepAlives);
+      return;
+    }
+    ++it->second.unacked_keepalives;
+    bus_->send(self_, it->second.responder, TunnelKeepAlive{tunnel_id});
+    schedule_keepalive(tunnel_id);
   });
 }
 
 void MiroAgent::schedule_sweep() {
   bus_->scheduler().after(soft_state_.sweep_interval, [this]() {
-    const auto expired = tunnels_.expire(bus_->scheduler().now(),
-                                         soft_state_.expiry_timeout);
+    const sim::Time now = bus_->scheduler().now();
+    const auto expired = tunnels_.expire(now, soft_state_.expiry_timeout);
     stats_.tunnels_expired += expired.size();
+    purge_dedup(now);
     schedule_sweep();
   });
 }

@@ -8,6 +8,7 @@
 //      | -- TunnelAccept  ------->  |   (the chosen candidate)
 //      | <-- TunnelConfirm -------  |   (tunnel id / endpoint address)
 //      | -- TunnelKeepAlive ... ->  |   (periodic soft-state refresh)
+//      | <-- TunnelKeepAliveAck --  |   (upstream-side liveness signal)
 //      | -- TunnelTeardown ------>  |   (active teardown; soft state covers
 //                                        the case where this never arrives)
 //
@@ -17,6 +18,24 @@
 // trust predicate). The requester picks the best affordable offer. Tunnels
 // are soft state: keep-alives refresh them and an expiry sweep destroys
 // silent ones (Section 4.3).
+//
+// Reliability layer. The network may drop, duplicate, or reorder any of
+// these messages (netsim/fault_injection.hpp), so:
+//  - The requester retransmits RouteRequest and TunnelAccept with capped
+//    exponential backoff plus jitter until answered; the negotiation_timeout
+//    remains the single failure backstop (the completion callback still
+//    fires exactly once). TunnelTeardown, which has no acknowledgment, is
+//    blindly re-sent a fixed number of times; soft-state expiry covers the
+//    copies that never arrive.
+//  - The responder is idempotent per (requester, negotiation id): a
+//    duplicated TunnelAccept never mints a second tunnel — the cached
+//    TunnelConfirm is re-sent instead.
+//  - The upstream side tracks keep-alive acknowledgments; after
+//    keepalive_miss_threshold consecutive unacknowledged keep-alives (or an
+//    ack reporting the tunnel dead) the tunnel is failed over: upstream
+//    state is dropped so traffic falls back to the BGP default path, the
+//    tunnel-lost callback fires, and — when auto_renegotiate is on — a
+//    re-negotiation starts after a hold-down delay that prevents flapping.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +45,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/export_policy.hpp"
 #include "core/route_store.hpp"
 #include "core/tunnel.hpp"
@@ -71,6 +91,14 @@ struct TunnelKeepAlive {
   TunnelId tunnel_id = 0;
 };
 
+/// Responder's reply to every keep-alive; `alive` is false when the tunnel
+/// is unknown (expired or torn down), which lets the upstream side fail
+/// over immediately instead of waiting out the miss threshold.
+struct TunnelKeepAliveAck {
+  TunnelId tunnel_id = 0;
+  bool alive = false;
+};
+
 struct TunnelTeardown {
   TunnelId tunnel_id = 0;
 };
@@ -98,8 +126,8 @@ struct SwitchResponse {
 
 using Message =
     std::variant<RouteRequest, RouteOffers, TunnelAccept, TunnelConfirm,
-                 TunnelKeepAlive, TunnelTeardown, SwitchRequest,
-                 SwitchResponse>;
+                 TunnelKeepAlive, TunnelKeepAliveAck, TunnelTeardown,
+                 SwitchRequest, SwitchResponse>;
 
 using Bus = sim::MessageBus<Message>;
 
@@ -124,7 +152,7 @@ struct ResponderConfig {
       accept_switch;
 };
 
-/// Timing knobs for the soft-state machinery.
+/// Timing knobs for the soft-state and reliability machinery.
 struct SoftStateConfig {
   sim::Time keepalive_interval = 100;
   sim::Time expiry_timeout = 350;   ///< > 3 keep-alive intervals
@@ -132,6 +160,30 @@ struct SoftStateConfig {
   /// A negotiation whose responder stays silent this long fails locally
   /// (the completion callback fires with established == false).
   sim::Time negotiation_timeout = 2000;
+
+  // ---- retransmission (requester side) ----
+  sim::Time retry_initial = 40;    ///< first retransmit after this long
+  sim::Time retry_max = 320;       ///< exponential backoff cap
+  double retry_jitter = 0.25;      ///< extra delay, uniform in
+                                   ///< [0, retry_jitter * interval]
+  std::uint32_t max_retries = 5;   ///< per handshake message; afterwards the
+                                   ///< negotiation_timeout backstop fires
+  std::uint32_t teardown_retransmits = 2;  ///< blind extra TunnelTeardowns
+  std::uint64_t rng_seed = 0x5eedULL;  ///< mixed with `self` per agent
+
+  // ---- failover (upstream side) ----
+  /// Consecutive unacknowledged keep-alives before the tunnel is declared
+  /// lost and failed over.
+  std::uint32_t keepalive_miss_threshold = 3;
+  /// When true, a failed-over tunnel is re-negotiated automatically after
+  /// the hold-down delay (at most one re-negotiation per
+  /// (responder, destination) per hold-down window — the anti-flap guard).
+  bool auto_renegotiate = false;
+  sim::Time renegotiate_hold_down = 500;
+
+  /// How long completed-negotiation ids are remembered for duplicate
+  /// suppression; must exceed any plausible duplicate's lateness.
+  sim::Time dedup_retention = 4000;
 };
 
 /// Outcome delivered to the requester's completion callback.
@@ -142,6 +194,20 @@ struct NegotiationOutcome {
   Route route;       ///< the path bound to the tunnel, as seen at responder
   int cost = 0;
   std::size_t offers_received = 0;
+};
+
+/// Delivered to the tunnel-lost callback when the upstream side fails a
+/// tunnel over (traffic reverts to the BGP default path).
+struct TunnelLostEvent {
+  enum class Reason {
+    MissedKeepAlives,  ///< keepalive_miss_threshold acks in a row never came
+    ResponderReset,    ///< an ack reported the tunnel unknown downstream
+  };
+  TunnelId tunnel_id = 0;
+  NodeId responder = topo::kInvalidNode;
+  NodeId destination = topo::kInvalidNode;
+  Reason reason = Reason::MissedKeepAlives;
+  bool will_renegotiate = false;  ///< a hold-down re-negotiation is queued
 };
 
 class MiroAgent {
@@ -164,6 +230,18 @@ class MiroAgent {
   /// Actively tears down a tunnel this AS established as the upstream side.
   void teardown(TunnelId tunnel_id);
 
+  /// Registers the upstream-side failover observer (replacing any previous).
+  using TunnelLostCallback = std::function<void(const TunnelLostEvent&)>;
+  void on_tunnel_lost(TunnelLostCallback callback) {
+    on_tunnel_lost_ = std::move(callback);
+  }
+
+  /// Observes the outcome of automatic re-negotiations (optional; they
+  /// complete silently otherwise).
+  void on_renegotiated(CompletionCallback callback) {
+    on_renegotiated_ = std::move(callback);
+  }
+
   /// Downstream-initiated negotiation: asks `responder` to switch its own
   /// selection toward `destination` to the alternate whose first hop is
   /// `desired_next_hop`, offering `compensation`. The callback receives
@@ -181,10 +259,23 @@ class MiroAgent {
     return switched_;
   }
 
+  /// Upstream-side record of one established tunnel: enough to run the
+  /// keep-alive liveness loop and to re-issue the original request when the
+  /// tunnel fails over.
+  struct UpstreamTunnel {
+    NodeId responder = topo::kInvalidNode;
+    NodeId arrival_neighbor = topo::kInvalidNode;
+    NodeId destination = topo::kInvalidNode;
+    std::optional<NodeId> avoid;
+    std::optional<int> max_cost;
+    std::uint32_t unacked_keepalives = 0;
+  };
+
   /// Tunnels this AS maintains as the downstream (responding) side.
   const TunnelTable& tunnels() const { return tunnels_; }
-  /// Tunnels this AS uses as the upstream side: tunnel id -> responder.
-  const std::unordered_map<TunnelId, NodeId>& upstream_tunnels() const {
+  /// Tunnels this AS uses as the upstream side.
+  const std::unordered_map<TunnelId, UpstreamTunnel>& upstream_tunnels()
+      const {
     return upstream_;
   }
 
@@ -198,6 +289,14 @@ class MiroAgent {
     std::size_t tunnels_torn_down = 0;  ///< active teardowns received
     std::size_t switches_accepted = 0;  ///< downstream-initiated diversions
     std::size_t switches_declined = 0;
+    // -- reliability layer --
+    std::size_t retransmissions = 0;        ///< re-sent handshake/teardowns
+    std::size_t duplicates_suppressed = 0;  ///< dedup hits (both roles)
+    std::size_t tunnels_failed_over = 0;    ///< upstream liveness losses
+    std::size_t negotiations_abandoned = 0; ///< failed via timeout backstop
+    std::size_t renegotiations = 0;         ///< automatic re-requests issued
+    std::size_t stale_confirms_reclaimed = 0;  ///< unwanted confirms answered
+                                               ///< with a teardown
   };
   const Stats& stats() const { return stats_; }
 
@@ -210,32 +309,87 @@ class MiroAgent {
   void handle(NodeId from, const TunnelAccept& accept);
   void handle(NodeId from, const TunnelConfirm& confirm);
   void handle(NodeId from, const TunnelKeepAlive& keepalive);
+  void handle(NodeId from, const TunnelKeepAliveAck& ack);
   void handle(NodeId from, const TunnelTeardown& teardown);
   void handle(NodeId from, const SwitchRequest& request);
   void handle(NodeId from, const SwitchResponse& response);
-  void schedule_keepalive(TunnelId tunnel_id, NodeId responder);
+  void schedule_keepalive(TunnelId tunnel_id);
   void schedule_sweep();
+
+  struct PendingRequest {
+    enum class Phase { AwaitingOffers, AwaitingConfirm };
+    NodeId responder = topo::kInvalidNode;
+    NodeId arrival_neighbor = topo::kInvalidNode;
+    NodeId destination = topo::kInvalidNode;
+    std::optional<NodeId> avoid;
+    std::optional<int> max_cost;
+    CompletionCallback on_complete;
+    std::size_t offers_received = 0;
+    Phase phase = Phase::AwaitingOffers;
+    Route chosen;         ///< valid in AwaitingConfirm
+    int chosen_cost = 0;  ///< valid in AwaitingConfirm
+    std::uint32_t attempts = 0;  ///< retransmissions in the current phase
+    sim::Scheduler::TimerToken retry;
+    sim::Scheduler::TimerToken timeout;
+  };
+
+  /// Backoff-with-jitter delay before retransmission number `attempt`.
+  sim::Time retry_delay(std::uint32_t attempt);
+  /// (Re-)sends the current phase's handshake message for `id`.
+  void send_handshake(std::uint64_t id);
+  /// Arms the retransmission timer for `id`'s current phase.
+  void arm_retry(std::uint64_t id);
+  /// Finishes a pending negotiation exactly once, cancelling its timers.
+  void complete(std::uint64_t id, const NegotiationOutcome& outcome);
+  /// Sends a teardown plus `teardown_retransmits` blind copies.
+  void send_teardown(NodeId responder, TunnelId tunnel_id,
+                     std::uint32_t attempt);
+  /// Drops the upstream tunnel (traffic reverts to the BGP default path),
+  /// fires the tunnel-lost callback, and queues the hold-down renegotiation.
+  void fail_over(TunnelId tunnel_id, TunnelLostEvent::Reason reason);
+  /// Forgets completed-negotiation dedup records older than the retention.
+  void purge_dedup(sim::Time now);
 
   NodeId self_;
   RouteStore* store_;
   Bus* bus_;
   ResponderConfig responder_;
   SoftStateConfig soft_state_;
+  Rng rng_;              ///< backoff jitter; seeded, so runs reproduce
   TunnelTable tunnels_;  // downstream role
 
-  struct PendingRequest {
-    NodeId responder;
-    NodeId destination;
-    std::optional<NodeId> avoid;
-    std::optional<int> max_cost;
-    CompletionCallback on_complete;
-    std::size_t offers_received = 0;
-  };
   std::uint64_t next_negotiation_id_ = 1;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;  // requester
   std::unordered_map<std::uint64_t, SwitchCallback> pending_switches_;
-  std::unordered_map<TunnelId, NodeId> upstream_;  // upstream role
+  std::unordered_map<TunnelId, UpstreamTunnel> upstream_;  // upstream role
   std::unordered_map<NodeId, NodeId> switched_;    // switch-responder role
+
+  /// Requester-side memory of successfully completed negotiations, for
+  /// suppressing duplicated TunnelConfirms (vs. tearing down a live tunnel).
+  struct CompletedRequest {
+    NodeId responder = topo::kInvalidNode;
+    TunnelId tunnel_id = 0;
+    sim::Time at = 0;
+  };
+  std::unordered_map<std::uint64_t, CompletedRequest> completed_;
+
+  /// Responder-side memory of minted tunnels, keyed by
+  /// hash(requester, negotiation id): a duplicated TunnelAccept re-sends the
+  /// cached confirm instead of creating a second tunnel.
+  struct MintedTunnel {
+    NodeId requester = topo::kInvalidNode;
+    std::uint64_t negotiation_id = 0;
+    TunnelId tunnel_id = 0;
+    sim::Time at = 0;
+  };
+  std::unordered_map<std::uint64_t, MintedTunnel> minted_;
+
+  /// Anti-flap guard: (responder, destination) -> earliest time the next
+  /// automatic re-negotiation may start.
+  std::unordered_map<std::uint64_t, sim::Time> hold_down_until_;
+
+  TunnelLostCallback on_tunnel_lost_;
+  CompletionCallback on_renegotiated_;
   Stats stats_;
 };
 

@@ -13,6 +13,18 @@ bool TunnelMonitor::unwatch(NodeId responder, TunnelId id) {
   return watched_.size() != before;
 }
 
+std::optional<TunnelMonitor::WatchedTunnel> TunnelMonitor::on_tunnel_lost(
+    NodeId responder, TunnelId id) {
+  auto it = std::find_if(watched_.begin(), watched_.end(),
+                         [&](const WatchedTunnel& t) {
+                           return t.responder == responder && t.id == id;
+                         });
+  if (it == watched_.end()) return std::nullopt;
+  WatchedTunnel lost = std::move(*it);
+  watched_.erase(it);
+  return lost;
+}
+
 template <typename Predicate>
 std::vector<TunnelMonitor::WatchedTunnel> TunnelMonitor::tear_down_if(
     Predicate&& dead) {

@@ -44,6 +44,12 @@ class TunnelMonitor {
   /// tunnel was watched.
   bool unwatch(NodeId responder, TunnelId id);
 
+  /// Control-plane liveness hook: the upstream side failed the tunnel over
+  /// (MiroAgent's keep-alive miss threshold, see TunnelLostEvent). Stops
+  /// watching and returns the record — it carries everything a caller needs
+  /// (destination, must_avoid) to steer the replacement negotiation.
+  std::optional<WatchedTunnel> on_tunnel_lost(NodeId responder, TunnelId id);
+
   std::size_t watched_count() const { return watched_.size(); }
 
   /// The upstream's route toward `responder` changed (prefix = responder's

@@ -1,0 +1,48 @@
+#include "netsim/fault_injection.hpp"
+
+namespace miro::sim {
+
+FaultPlane::FaultPlane(std::uint64_t seed) : rng_(seed) {}
+
+const LinkFaultProfile& FaultPlane::profile_of(EndpointId a,
+                                               EndpointId b) const {
+  auto it = profiles_.find(key(a, b));
+  return it == profiles_.end() ? default_profile_ : it->second;
+}
+
+std::vector<Time> FaultPlane::plan(EndpointId from, EndpointId to) {
+  const LinkFaultProfile& profile = profile_of(from, to);
+  Counters& link = per_link_[key(from, to)];
+  ++totals_.sent;
+  ++link.sent;
+  if (profile.drop > 0.0 && rng_.chance(profile.drop)) {
+    ++totals_.dropped;
+    ++link.dropped;
+    return {};
+  }
+  std::vector<Time> copies;
+  copies.push_back(profile.jitter_max == 0
+                       ? 0
+                       : rng_.next_below(profile.jitter_max + 1));
+  if (profile.duplicate > 0.0 && rng_.chance(profile.duplicate)) {
+    ++totals_.duplicated;
+    ++link.duplicated;
+    copies.push_back(profile.jitter_max == 0
+                         ? 0
+                         : rng_.next_below(profile.jitter_max + 1));
+  }
+  return copies;
+}
+
+void FaultPlane::note_delivered(EndpointId from, EndpointId to) {
+  ++totals_.delivered;
+  ++per_link_[key(from, to)].delivered;
+}
+
+FaultPlane::Counters FaultPlane::link_counters(EndpointId a,
+                                               EndpointId b) const {
+  auto it = per_link_.find(key(a, b));
+  return it == per_link_.end() ? Counters{} : it->second;
+}
+
+}  // namespace miro::sim

@@ -1,0 +1,88 @@
+// Deterministic fault injection for the control-plane message bus.
+//
+// The dissertation's soft-state design (Section 4.3) exists because control
+// messages can be lost — "the active tunnel tear-down message itself may not
+// be able to reach AS B". A binary link partition is the extreme case; real
+// interdomain control channels lose, duplicate, and reorder individual
+// messages. The FaultPlane models that regime: per-link probabilistic drop,
+// duplication, and reorder-jitter, all driven by the repository's seeded Rng
+// so every chaos run is reproducible bit-for-bit, with per-link and global
+// counters so runs are observable after the fact.
+//
+// The plane is deliberately message-agnostic (it never sees payloads), which
+// keeps it out of the MessageBus template: a bus consults the plane per send
+// and the plane answers "deliver these copies, each this much later".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::sim {
+
+/// Endpoint identifier — the MIRO control plane uses the dense AS node id.
+using EndpointId = std::uint32_t;
+
+/// Per-link fault regime. The zero-initialized profile is a perfect link.
+struct LinkFaultProfile {
+  double drop = 0.0;       ///< per-message loss probability
+  double duplicate = 0.0;  ///< probability a surviving message is doubled
+  Time jitter_max = 0;     ///< extra delay, uniform in [0, jitter_max],
+                           ///< drawn independently per copy (=> reordering)
+};
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed = 0xc4a05u);
+
+  /// Fault regime for links without an explicit profile.
+  void set_default_profile(const LinkFaultProfile& profile) {
+    default_profile_ = profile;
+  }
+
+  /// Fault regime for one (symmetric) link, overriding the default.
+  void set_link_profile(EndpointId a, EndpointId b,
+                        const LinkFaultProfile& profile) {
+    profiles_[key(a, b)] = profile;
+  }
+
+  const LinkFaultProfile& profile_of(EndpointId a, EndpointId b) const;
+
+  /// Decides the fate of one message on the a->b link: the returned vector
+  /// holds one extra-delay entry per copy to deliver (empty = dropped).
+  /// Advances the Rng and the sent/dropped/duplicated counters.
+  std::vector<Time> plan(EndpointId from, EndpointId to);
+
+  /// Books a copy that actually reached an attached handler.
+  void note_delivered(EndpointId from, EndpointId to);
+
+  struct Counters {
+    std::uint64_t sent = 0;        ///< messages offered to the plane
+    std::uint64_t dropped = 0;     ///< messages the plane discarded
+    std::uint64_t duplicated = 0;  ///< messages delivered as two copies
+    std::uint64_t delivered = 0;   ///< copies that reached a handler
+  };
+
+  const Counters& totals() const { return totals_; }
+
+  /// Counters for one link; a zero struct when the link saw no traffic.
+  Counters link_counters(EndpointId a, EndpointId b) const;
+
+ private:
+  /// Order-independent pair key (links are symmetric), matching MessageBus.
+  static std::uint64_t key(EndpointId a, EndpointId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Rng rng_;
+  LinkFaultProfile default_profile_;
+  std::unordered_map<std::uint64_t, LinkFaultProfile> profiles_;
+  Counters totals_;
+  std::unordered_map<std::uint64_t, Counters> per_link_;
+};
+
+}  // namespace miro::sim

@@ -1,10 +1,13 @@
 // Typed point-to-point message delivery over the scheduler.
 //
-// Models the persistent control-plane sessions between MIRO speakers: ordered
-// delivery with a per-link propagation delay, and an optional link-down state
-// (used to exercise the soft-state keep-alive teardown: "when A can no longer
-// reach B, the active tunnel tear-down message itself may not be able to
-// reach AS B", Section 4.3).
+// Models the control-plane sessions between MIRO speakers: delivery with a
+// per-link propagation delay, an optional link-down state (used to exercise
+// the soft-state keep-alive teardown: "when A can no longer reach B, the
+// active tunnel tear-down message itself may not be able to reach AS B",
+// Section 4.3), and an optional FaultPlane for per-message loss, duplication,
+// and reorder-jitter (see netsim/fault_injection.hpp). Without a fault plane
+// delivery is ordered per link; with jitter enabled copies may overtake each
+// other, which is exactly the regime the retransmission layer must survive.
 #pragma once
 
 #include <cstdint>
@@ -12,14 +15,25 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "netsim/fault_injection.hpp"
 #include "netsim/scheduler.hpp"
 
 namespace miro::sim {
 
-/// Endpoint identifier — the MIRO control plane uses the dense AS node id.
-using EndpointId = std::uint32_t;
+/// Per-bus delivery accounting. Every send ends up in exactly one of
+/// delivered / dropped_link_down / dropped_faults / dropped_unattached,
+/// except that a fault-plane duplication can add a second terminal outcome
+/// for the extra copy.
+struct BusStats {
+  std::uint64_t sent = 0;               ///< send() calls
+  std::uint64_t delivered = 0;          ///< copies handed to a handler
+  std::uint64_t dropped_link_down = 0;  ///< lost to a partitioned link
+  std::uint64_t dropped_faults = 0;     ///< discarded by the fault plane
+  std::uint64_t dropped_unattached = 0; ///< no handler at the destination
+};
 
 template <typename Message>
 class MessageBus {
@@ -36,15 +50,26 @@ class MessageBus {
   }
 
   /// Sends a message; it is delivered after the pair's delay unless the
-  /// pair's link is down. Messages to unattached endpoints are dropped.
+  /// pair's link is down or the fault plane discards it. Messages to
+  /// unattached endpoints are dropped (and counted).
   void send(EndpointId from, EndpointId to, Message message) {
-    if (is_down(from, to)) return;  // lost: the link is partitioned
+    ++stats_.sent;
+    if (is_down(from, to)) {  // lost: the link is partitioned
+      ++stats_.dropped_link_down;
+      return;
+    }
+    std::vector<Time> copies{0};
+    if (fault_plane_ != nullptr) {
+      copies = fault_plane_->plan(from, to);
+      if (copies.empty()) {
+        ++stats_.dropped_faults;
+        return;
+      }
+    }
     const Time delay = delay_of(from, to);
-    scheduler_->after(delay, [this, from, to, msg = std::move(message)]() {
-      if (is_down(from, to)) return;  // partitioned while in flight
-      auto it = handlers_.find(to);
-      if (it != handlers_.end()) it->second(from, msg);
-    });
+    for (std::size_t i = 0; i + 1 < copies.size(); ++i)
+      schedule_delivery(from, to, delay + copies[i], message);
+    schedule_delivery(from, to, delay + copies.back(), std::move(message));
   }
 
   /// Sets the propagation delay between two endpoints (both directions).
@@ -65,9 +90,34 @@ class MessageBus {
     return down_.count(key(a, b)) != 0;
   }
 
+  /// Installs (or clears, with nullptr) the fault plane consulted per send.
+  /// The plane must outlive the bus.
+  void set_fault_plane(FaultPlane* plane) { fault_plane_ = plane; }
+  FaultPlane* fault_plane() const { return fault_plane_; }
+
+  const BusStats& stats() const { return stats_; }
+
   Scheduler& scheduler() { return *scheduler_; }
 
  private:
+  void schedule_delivery(EndpointId from, EndpointId to, Time delay,
+                         Message message) {
+    scheduler_->after(delay, [this, from, to, msg = std::move(message)]() {
+      if (is_down(from, to)) {  // partitioned while in flight
+        ++stats_.dropped_link_down;
+        return;
+      }
+      auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        ++stats_.dropped_unattached;
+        return;
+      }
+      ++stats_.delivered;
+      if (fault_plane_ != nullptr) fault_plane_->note_delivered(from, to);
+      it->second(from, msg);
+    });
+  }
+
   /// Order-independent pair key (links are symmetric).
   static std::uint64_t key(EndpointId a, EndpointId b) {
     if (a > b) std::swap(a, b);
@@ -80,9 +130,11 @@ class MessageBus {
 
   Scheduler* scheduler_;
   Time default_delay_;
+  FaultPlane* fault_plane_ = nullptr;
   std::unordered_map<EndpointId, Handler> handlers_;
   std::unordered_map<std::uint64_t, Time> delays_;
   std::unordered_set<std::uint64_t> down_;
+  BusStats stats_;
 };
 
 }  // namespace miro::sim

@@ -1,0 +1,159 @@
+// Seeded chaos sweeps over the negotiation protocol: per-message drop,
+// duplication, and reorder-jitter applied to every control-plane link.
+// The acceptance bar:
+//   - every initiated negotiation terminates (tunnel or clean failure
+//     callback, exactly once);
+//   - no duplicate tunnel is ever minted for one negotiation id;
+//   - after a final quiescent period both agents hold zero orphaned soft
+//     state;
+//   - with drop <= 10%, retransmission keeps the establishment rate >= 90%
+//     (vs. timeout-only failure without it).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/route_store.hpp"
+#include "netsim/fault_injection.hpp"
+#include "scenarios.hpp"
+
+namespace miro::core {
+namespace {
+
+using test::Figure31Topology;
+
+struct ChaosResult {
+  std::size_t initiated = 0;
+  std::size_t callbacks = 0;    ///< completions (success or clean failure)
+  std::size_t established = 0;
+  MiroAgent::Stats requester;
+  MiroAgent::Stats responder;
+  sim::FaultPlane::Counters plane;
+  std::size_t leaked_upstream = 0;   ///< after the quiescent period
+  std::size_t leaked_downstream = 0;
+};
+
+/// Runs `negotiations` staggered avoid-E requests from A to B under the
+/// given fault profile, then tears everything down (faults still on) and
+/// lets the system quiesce.
+ChaosResult run_chaos(const sim::LinkFaultProfile& faults, std::uint64_t seed,
+                      std::size_t negotiations, std::uint32_t max_retries) {
+  Figure31Topology fig;
+  RouteStore store(fig.graph);
+  sim::Scheduler scheduler;
+  Bus bus(scheduler);
+  sim::FaultPlane plane(seed);
+  plane.set_default_profile(faults);
+  bus.set_fault_plane(&plane);
+
+  SoftStateConfig ss;
+  ss.max_retries = max_retries;
+  ss.rng_seed = seed;
+  MiroAgent a(fig.a, store, bus, {}, ss);
+  MiroAgent b(fig.b, store, bus, {}, ss);
+
+  ChaosResult result;
+  result.initiated = negotiations;
+  const sim::Time stagger = 250;
+  for (std::size_t i = 0; i < negotiations; ++i) {
+    scheduler.at(i * stagger, [&, i]() {
+      a.request(fig.b, fig.a, fig.f, fig.e, std::nullopt,
+                [&result](const NegotiationOutcome& o) {
+                  ++result.callbacks;
+                  if (o.established) ++result.established;
+                });
+    });
+  }
+  const sim::Time sweep_end =
+      static_cast<sim::Time>(negotiations) * stagger + 3000;
+  scheduler.run_until(sweep_end);
+
+  // Drain: actively tear down whatever survived, with the lossy network
+  // still in place, and give soft-state expiry room to mop up the rest.
+  std::vector<net::TunnelId> held;
+  for (const auto& [id, up] : a.upstream_tunnels()) held.push_back(id);
+  for (net::TunnelId id : held) a.teardown(id);
+  scheduler.run_until(sweep_end + 2500);
+
+  result.requester = a.stats();
+  result.responder = b.stats();
+  result.plane = plane.totals();
+  result.leaked_upstream = a.upstream_tunnels().size();
+  result.leaked_downstream = b.tunnels().active_count();
+  return result;
+}
+
+constexpr std::size_t kNegotiations = 30;
+
+TEST(ChaosSweep, EveryNegotiationTerminatesAndNoSoftStateLeaks) {
+  for (double drop : {0.05, 0.10, 0.20, 0.30}) {
+    for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      const sim::LinkFaultProfile faults{drop, /*duplicate=*/0.10,
+                                         /*jitter_max=*/25};
+      const ChaosResult r =
+          run_chaos(faults, seed, kNegotiations, /*max_retries=*/5);
+      SCOPED_TRACE(::testing::Message()
+                   << "drop=" << drop << " seed=" << seed);
+      // Termination: the completion callback fired exactly once per request.
+      EXPECT_EQ(r.callbacks, r.initiated);
+      EXPECT_EQ(r.requester.requests_sent, r.initiated);
+      // Idempotence: at most one tunnel ever minted per negotiation id.
+      EXPECT_LE(r.responder.tunnels_established, r.initiated);
+      // Quiescence: zero orphaned soft state on either side, and every
+      // minted tunnel was reclaimed by exactly one of teardown or expiry.
+      EXPECT_EQ(r.leaked_upstream, 0u);
+      EXPECT_EQ(r.leaked_downstream, 0u);
+      EXPECT_EQ(r.responder.tunnels_established,
+                r.responder.tunnels_torn_down + r.responder.tunnels_expired);
+      // The chaos actually bit: the plane dropped traffic, and with
+      // losses this heavy the requester had to retransmit.
+      EXPECT_GT(r.plane.dropped, 0u);
+      EXPECT_GT(r.requester.retransmissions, 0u);
+      if (drop <= 0.10) {
+        // Retransmission holds the establishment rate at >= 90%.
+        EXPECT_GE(r.established * 10, r.initiated * 9);
+      }
+    }
+  }
+}
+
+TEST(ChaosSweep, RetransmissionBeatsTimeoutOnlyFailureAtTenPercentDrop) {
+  const sim::LinkFaultProfile faults{0.10, 0.10, 25};
+  const ChaosResult with_retries =
+      run_chaos(faults, /*seed=*/7, kNegotiations, /*max_retries=*/5);
+  const ChaosResult without_retries =
+      run_chaos(faults, /*seed=*/7, kNegotiations, /*max_retries=*/0);
+  // Without retransmission a negotiation survives only if all four
+  // handshake messages dodge the 10% loss (~66% per negotiation); with it,
+  // effectively all of them do.
+  EXPECT_GE(with_retries.established * 10, with_retries.initiated * 9);
+  EXPECT_GT(with_retries.established, without_retries.established);
+  // Both variants still terminate and stay leak-free — the safety
+  // properties never depended on retransmission, only the success rate.
+  EXPECT_EQ(without_retries.callbacks, without_retries.initiated);
+  EXPECT_EQ(without_retries.leaked_upstream, 0u);
+  EXPECT_EQ(without_retries.leaked_downstream, 0u);
+}
+
+TEST(ChaosSweep, IdenticalSeedsReproduceRunsBitForBit) {
+  const sim::LinkFaultProfile faults{0.20, 0.10, 25};
+  const ChaosResult one = run_chaos(faults, 42, kNegotiations, 5);
+  const ChaosResult two = run_chaos(faults, 42, kNegotiations, 5);
+  EXPECT_EQ(one.established, two.established);
+  EXPECT_EQ(one.requester.retransmissions, two.requester.retransmissions);
+  EXPECT_EQ(one.requester.negotiations_abandoned,
+            two.requester.negotiations_abandoned);
+  EXPECT_EQ(one.responder.tunnels_established,
+            two.responder.tunnels_established);
+  EXPECT_EQ(one.responder.duplicates_suppressed,
+            two.responder.duplicates_suppressed);
+  EXPECT_EQ(one.plane.sent, two.plane.sent);
+  EXPECT_EQ(one.plane.dropped, two.plane.dropped);
+  EXPECT_EQ(one.plane.duplicated, two.plane.duplicated);
+  EXPECT_EQ(one.plane.delivered, two.plane.delivered);
+}
+
+}  // namespace
+}  // namespace miro::core

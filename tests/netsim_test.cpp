@@ -3,7 +3,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "netsim/fault_injection.hpp"
 #include "netsim/message_bus.hpp"
 #include "netsim/scheduler.hpp"
 
@@ -155,6 +158,157 @@ TEST(MessageBus, OrderedDeliveryPerLink) {
   std::vector<int> expected(10);
   for (int i = 0; i < 10; ++i) expected[i] = i;
   EXPECT_EQ(received, expected);
+}
+
+TEST(MessageBus, StatsAccountForEveryOutcome) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  bus.attach(2, [](EndpointId, int) {});
+  bus.send(1, 2, 1);   // delivered
+  bus.send(1, 99, 2);  // no handler at 99
+  bus.set_link_down(1, 3, true);
+  bus.send(1, 3, 3);   // partitioned
+  scheduler.run_all();
+  EXPECT_EQ(bus.stats().sent, 3u);
+  EXPECT_EQ(bus.stats().delivered, 1u);
+  EXPECT_EQ(bus.stats().dropped_unattached, 1u);
+  EXPECT_EQ(bus.stats().dropped_link_down, 1u);
+  EXPECT_EQ(bus.stats().dropped_faults, 0u);
+}
+
+TEST(MessageBus, UnattachedDropIsCountedAtDeliveryTime) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  bus.send(1, 7, 5);
+  EXPECT_EQ(bus.stats().dropped_unattached, 0u);  // still in flight
+  scheduler.run_all();
+  EXPECT_EQ(bus.stats().dropped_unattached, 1u);
+}
+
+// ---------------------------------------------------------- fault injection
+
+TEST(FaultPlane, PerfectLinkByDefault) {
+  FaultPlane plane(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto copies = plane.plan(1, 2);
+    ASSERT_EQ(copies.size(), 1u);
+    EXPECT_EQ(copies[0], 0u);
+  }
+  EXPECT_EQ(plane.totals().sent, 100u);
+  EXPECT_EQ(plane.totals().dropped, 0u);
+  EXPECT_EQ(plane.totals().duplicated, 0u);
+}
+
+TEST(FaultPlane, CertainDropDiscardsEverything) {
+  FaultPlane plane(1);
+  plane.set_default_profile({/*drop=*/1.0, /*duplicate=*/0.0, 0});
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(plane.plan(1, 2).empty());
+  EXPECT_EQ(plane.totals().dropped, 50u);
+}
+
+TEST(FaultPlane, CertainDuplicationDoublesEverySurvivor) {
+  FaultPlane plane(1);
+  plane.set_default_profile({0.0, /*duplicate=*/1.0, 0});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(plane.plan(1, 2).size(), 2u);
+  EXPECT_EQ(plane.totals().duplicated, 50u);
+}
+
+TEST(FaultPlane, JitterStaysWithinBound) {
+  FaultPlane plane(7);
+  plane.set_default_profile({0.0, 0.0, /*jitter_max=*/25});
+  Time max_seen = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (Time extra : plane.plan(1, 2)) {
+      EXPECT_LE(extra, 25u);
+      max_seen = std::max(max_seen, extra);
+    }
+  }
+  EXPECT_GT(max_seen, 0u);  // jitter actually happens
+}
+
+TEST(FaultPlane, PerLinkProfileOverridesDefaultAndIsSymmetric) {
+  FaultPlane plane(1);
+  plane.set_default_profile({1.0, 0.0, 0});     // default: drop everything
+  plane.set_link_profile(3, 4, {0.0, 0.0, 0});  // except the 3-4 link
+  EXPECT_TRUE(plane.plan(1, 2).empty());
+  EXPECT_FALSE(plane.plan(3, 4).empty());
+  EXPECT_FALSE(plane.plan(4, 3).empty());  // links are symmetric
+}
+
+TEST(FaultPlane, CountersTrackPerLinkAndGlobally) {
+  FaultPlane plane(1);
+  plane.set_link_profile(1, 2, {1.0, 0.0, 0});
+  plane.plan(1, 2);
+  plane.plan(1, 2);
+  plane.plan(3, 4);
+  plane.note_delivered(3, 4);
+  EXPECT_EQ(plane.link_counters(1, 2).sent, 2u);
+  EXPECT_EQ(plane.link_counters(1, 2).dropped, 2u);
+  EXPECT_EQ(plane.link_counters(3, 4).delivered, 1u);
+  EXPECT_EQ(plane.link_counters(5, 6).sent, 0u);  // untouched link
+  EXPECT_EQ(plane.totals().sent, 3u);
+  EXPECT_EQ(plane.totals().dropped, 2u);
+  EXPECT_EQ(plane.totals().delivered, 1u);
+}
+
+TEST(FaultPlane, SameSeedReproducesTheSameFateSequence) {
+  FaultPlane one(42), two(42);
+  const LinkFaultProfile chaos{0.3, 0.2, 40};
+  one.set_default_profile(chaos);
+  two.set_default_profile(chaos);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(one.plan(1, 2), two.plan(1, 2));
+  EXPECT_EQ(one.totals().dropped, two.totals().dropped);
+  EXPECT_EQ(one.totals().duplicated, two.totals().duplicated);
+}
+
+TEST(MessageBus, FaultPlaneDropsAreCountedOnTheBus) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  FaultPlane plane(1);
+  plane.set_default_profile({1.0, 0.0, 0});
+  bus.set_fault_plane(&plane);
+  int received = 0;
+  bus.attach(2, [&](EndpointId, int) { ++received; });
+  for (int i = 0; i < 20; ++i) bus.send(1, 2, i);
+  scheduler.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped_faults, 20u);
+  EXPECT_EQ(plane.totals().dropped, 20u);
+}
+
+TEST(MessageBus, FaultPlaneDuplicationDeliversBothCopies) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  FaultPlane plane(1);
+  plane.set_default_profile({0.0, 1.0, 0});
+  bus.set_fault_plane(&plane);
+  std::vector<int> received;
+  bus.attach(2, [&](EndpointId, int v) { received.push_back(v); });
+  bus.send(1, 2, 7);
+  scheduler.run_all();
+  EXPECT_EQ(received, (std::vector<int>{7, 7}));
+  EXPECT_EQ(plane.totals().delivered, 2u);
+  EXPECT_EQ(bus.stats().delivered, 2u);
+}
+
+TEST(MessageBus, JitterReordersIndependentMessages) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  FaultPlane plane(3);
+  plane.set_default_profile({0.0, 0.0, /*jitter_max=*/50});
+  bus.set_fault_plane(&plane);
+  std::vector<int> received;
+  bus.attach(2, [&](EndpointId, int v) { received.push_back(v); });
+  std::vector<int> sent;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(i);
+    bus.send(1, 2, i);
+  }
+  scheduler.run_all();
+  auto sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, sent);       // nothing lost, nothing duplicated
+  EXPECT_NE(received, sent);     // ... but the arrival order shuffled
 }
 
 }  // namespace
