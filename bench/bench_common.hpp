@@ -6,23 +6,112 @@
 //   --dests <n>        sampled destinations (default 80)
 //   --sources <n>      sampled sources per destination (default 40)
 //   --seed <n>         sampling seed (default 42)
+//   --json <path>      also write results as machine-readable JSON
 // so the paper tables regenerate quickly by default and at full scale on
-// request.
+// request. The JSON snapshot carries each result as {name, value, unit}
+// plus the simulation config that produced it, for regression tracking
+// across runs / CI artifacts.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/experiments.hpp"
 
 namespace miro::bench {
 
+/// Collects {name, value, unit} result rows plus the sim-config that
+/// produced them, and writes one JSON object:
+///   {"config":{...},"results":[{"name":...,"value":...,"unit":...},...]}
+/// A writer with an empty path is inert — add()/write() cost nothing, so
+/// benches call them unconditionally.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path = {}) : path_(std::move(path)) {}
+
+  bool active() const { return !path_.empty(); }
+
+  void set_config(const std::string& key, const std::string& value) {
+    if (active()) config_.emplace_back(key, value);
+  }
+  void set_config(const std::string& key, double value) {
+    set_config(key, format_number(value));
+  }
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    if (active()) rows_.push_back({name, value, unit});
+  }
+
+  /// Writes the snapshot; returns false (with a note on stderr) on I/O
+  /// failure so benches can surface a nonzero exit if they care.
+  bool write() const {
+    if (!active()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    out << "{\"config\":{";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "\"" << config_[i].first << "\":\"" << config_[i].second
+          << "\"";
+    }
+    out << "},\"results\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "{\"name\":\"" << rows_[i].name
+          << "\",\"value\":" << format_number(rows_[i].value)
+          << ",\"unit\":\"" << rows_[i].unit << "\"}";
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string format_number(double value) {
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      return std::to_string(static_cast<long long>(value));
+    }
+    return std::to_string(value);
+  }
+
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+};
+
+/// Pulls `--json <path>` out of argv (compacting it) and returns the path,
+/// or "" when absent. For benches whose remaining flags are parsed by
+/// another layer (google-benchmark's Initialize rejects unknown flags).
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
 struct BenchArgs {
   std::vector<std::string> profiles{"gao2000", "gao2003", "gao2005",
                                     "agarwal2004"};
   double scale = 0.5;
+  std::string json_path;    // empty = no JSON output
   eval::EvalConfig config;  // profile filled per run
 
   static BenchArgs parse(int argc, char** argv) {
@@ -50,10 +139,12 @@ struct BenchArgs {
             static_cast<std::size_t>(std::atoll(value()));
       } else if (flag == "--seed") {
         args.config.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      } else if (flag == "--json") {
+        args.json_path = value();
       } else {
         std::fprintf(stderr,
                      "usage: %s [--profile NAME] [--scale X] [--dests N] "
-                     "[--sources N] [--seed N]\n",
+                     "[--sources N] [--seed N] [--json PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -66,6 +157,25 @@ struct BenchArgs {
     config.profile = profile;
     config.scale = scale;
     return config;
+  }
+
+  /// A JSON writer (inert without --json) prefilled with the sim-config
+  /// these args describe.
+  BenchJsonWriter json_writer() const {
+    BenchJsonWriter writer(json_path);
+    std::string profile_list;
+    for (const std::string& profile : profiles) {
+      if (!profile_list.empty()) profile_list += ",";
+      profile_list += profile;
+    }
+    writer.set_config("profiles", profile_list);
+    writer.set_config("scale", scale);
+    writer.set_config("dests",
+                      static_cast<double>(config.destination_samples));
+    writer.set_config("sources",
+                      static_cast<double>(config.sources_per_destination));
+    writer.set_config("seed", static_cast<double>(config.seed));
+    return writer;
   }
 };
 

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   try {
   using namespace miro;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchJsonWriter json = args.json_writer();
 
   TextTable table({"profile", "ASes", "links", "BGP msgs to converge",
                    "msgs per link failure", "MIRO msgs per negotiation",
@@ -85,6 +86,12 @@ int main(int argc, char** argv) {
                    std::to_string(converge_msgs),
                    std::to_string(failure_msgs),
                    std::to_string(negotiation_msgs), "1"});
+    json.add(profile_name + ".bgp_converge",
+             static_cast<double>(converge_msgs), "messages");
+    json.add(profile_name + ".bgp_link_failure",
+             static_cast<double>(failure_msgs), "messages");
+    json.add(profile_name + ".miro_negotiation",
+             static_cast<double>(negotiation_msgs), "messages");
   }
   std::cout << "Control-plane message overhead: BGP baseline vs MIRO "
                "additions\n";
@@ -93,7 +100,7 @@ int main(int argc, char** argv) {
                "network; a MIRO negotiation costs a constant four messages "
                "between exactly two ASes, plus soft-state keep-alives on "
                "established tunnels)\n";
-  return 0;
+  return json.write() ? 0 : 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

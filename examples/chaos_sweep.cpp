@@ -3,17 +3,23 @@
 // netsim/fault_injection.hpp) and print how the reliability layer holds up —
 // establishment rate, retransmissions, suppressed duplicates, failovers.
 //
-//   ./chaos_sweep [negotiations] [seed]
+//   ./chaos_sweep [negotiations] [seed] [--metrics-json <path>]
 //
-// Every run is deterministic for a given seed.
+// With --metrics-json the final (worst drop rate) run's metrics registry —
+// agent counters, bus delivery accounting — is written as a JSON snapshot,
+// suitable for a CI artifact. Every run is deterministic for a given seed.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "core/route_store.hpp"
 #include "netsim/fault_injection.hpp"
+#include "obs/metrics.hpp"
 #include "topology/as_graph.hpp"
 
 namespace {
@@ -53,7 +59,8 @@ struct SweepRow {
   miro::sim::FaultPlane::Counters plane;
 };
 
-SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed) {
+SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
+                 miro::obs::MetricsRegistry* metrics = nullptr) {
   using namespace miro;
   Figure31 fig;
   core::RouteStore store(fig.graph);
@@ -93,16 +100,37 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed) {
                               responder.stats().duplicates_suppressed;
   row.failed_over = requester.stats().tunnels_failed_over;
   row.plane = plane.totals();
+  if (metrics != nullptr) {
+    requester.export_metrics(*metrics, "requester");
+    responder.export_metrics(*metrics, "responder");
+    bus.export_metrics(*metrics, "bus");
+    metrics->gauge("sweep.drop_rate").set(drop);
+    metrics->gauge("sweep.negotiations")
+        .set(static_cast<double>(negotiations));
+  }
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t negotiations =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 50;
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoi(positional[0]))
+          : 50;
   const std::uint64_t seed =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+      positional.size() > 1
+          ? static_cast<std::uint64_t>(std::atoll(positional[1]))
+          : 42;
 
   std::printf("Chaos sweep: %zu negotiations per drop rate, 10%% duplication,"
               " jitter <= 25 ticks, seed %llu\n\n",
@@ -110,8 +138,14 @@ int main(int argc, char** argv) {
   std::printf("%6s %6s %6s %6s %7s %6s %6s %8s %8s %6s\n", "drop%", "init",
               "estab", "aband", "retx", "dups", "fover", "msgsent",
               "msgdrop", "rate%");
-  for (double drop : {0.0, 0.05, 0.10, 0.15, 0.20, 0.30}) {
-    const SweepRow row = run_one(drop, negotiations, seed);
+  miro::obs::MetricsRegistry metrics;
+  const std::vector<double> drops{0.0, 0.05, 0.10, 0.15, 0.20, 0.30};
+  for (double drop : drops) {
+    // Only the final (worst) run's registry is kept for the snapshot.
+    const bool last = drop == drops.back();
+    const SweepRow row = run_one(drop, negotiations, seed,
+                                 last && !metrics_path.empty() ? &metrics
+                                                               : nullptr);
     std::printf(
         "%6.0f %6zu %6zu %6zu %7zu %6zu %6zu %8llu %8llu %6.1f\n",
         drop * 100, row.initiated, row.established, row.abandoned,
@@ -123,5 +157,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nEvery negotiation terminated; soft state drained to zero"
               " after the final quiescent period.\n");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    metrics.write_json(out);
+    out << "\n";
+    std::printf("Metrics snapshot (drop=%.0f%%) written to %s\n",
+                drops.back() * 100, metrics_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,143 @@
+// Trace one MIRO negotiation over a lossy control plane and reconstruct its
+// causal timeline from the structured trace (see src/obs/ and DESIGN.md §8).
+//
+//   ./trace_negotiation [drop] [seed] [trace.jsonl] [metrics.json]
+//
+// Runs a single avoid-E negotiation from AS A to AS B on the dissertation's
+// Figure 3.1 topology with per-message drop/duplication/jitter, holds the
+// tunnel through a few keep-alive rounds, tears it down, and then:
+//   - prints the reconstructed per-negotiation timeline (every traced event,
+//     plus the compact arrow-form summary),
+//   - streams the full event history to a JSONL file,
+//   - writes a metrics-registry JSON snapshot next to it.
+// Both files are what the CI workflow uploads as artifacts. Every run is
+// deterministic for a given seed.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/route_store.hpp"
+#include "netsim/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topology/as_graph.hpp"
+
+namespace {
+
+// The dissertation's six-AS running example (Figure 3.1): A wants to reach F
+// while avoiding E; B holds the unannounced alternate B-C-F.
+struct Figure31 {
+  miro::topo::AsGraph graph;
+  miro::topo::NodeId a, b, c, d, e, f;
+
+  Figure31() {
+    a = graph.add_as(1);
+    b = graph.add_as(2);
+    c = graph.add_as(3);
+    d = graph.add_as(4);
+    e = graph.add_as(5);
+    f = graph.add_as(6);
+    graph.add_customer_provider(/*provider=*/b, /*customer=*/a);
+    graph.add_customer_provider(d, a);
+    graph.add_customer_provider(b, e);
+    graph.add_customer_provider(d, e);
+    graph.add_customer_provider(c, f);
+    graph.add_customer_provider(e, f);
+    graph.add_peer(b, c);
+    graph.add_peer(c, e);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace miro;
+  const double drop = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+  const std::string trace_path =
+      argc > 3 ? argv[3] : "trace_negotiation.jsonl";
+  const std::string metrics_path =
+      argc > 4 ? argv[4] : "trace_negotiation_metrics.json";
+
+  Figure31 fig;
+  core::RouteStore store(fig.graph);
+  sim::Scheduler scheduler;
+  core::Bus bus(scheduler);
+  sim::FaultPlane plane(seed);
+  plane.set_default_profile({drop, /*duplicate=*/0.10, /*jitter_max=*/25});
+  bus.set_fault_plane(&plane);
+
+  // One recorder observes the bus and both agents; the JSONL sink captures
+  // the full history even if the ring wraps.
+  obs::TraceRecorder trace(1 << 14);
+  obs::JsonlFileSink jsonl(trace_path);
+  trace.add_sink(&jsonl);
+  bus.set_trace(&trace);
+
+  core::SoftStateConfig ss;
+  ss.rng_seed = seed;
+  core::MiroAgent requester(fig.a, store, bus, {}, ss);
+  core::MiroAgent responder(fig.b, store, bus, {}, ss);
+  requester.set_trace(&trace);
+  responder.set_trace(&trace);
+
+  std::printf("One negotiation, drop=%.0f%%, 10%% duplication, jitter <= 25"
+              " ticks, seed %llu\n\n",
+              drop * 100, static_cast<unsigned long long>(seed));
+
+  std::uint64_t negotiation_id = 0;
+  scheduler.at(0, [&] {
+    negotiation_id = requester.request(
+        fig.b, fig.a, fig.f, /*avoid=*/fig.e, std::nullopt,
+        [](const core::NegotiationOutcome& outcome) {
+          std::printf("outcome: %s\n\n",
+                      outcome.established ? "established" : "failed");
+        });
+  });
+  // Let the handshake finish and a few keep-alive rounds pass, then tear the
+  // tunnel down over the same lossy network and let soft state drain.
+  scheduler.run_until(2000);
+  std::vector<net::TunnelId> held;
+  for (const auto& [id, up] : requester.upstream_tunnels())
+    held.push_back(id);
+  for (net::TunnelId id : held) requester.teardown(id);
+  scheduler.run_until(4500);  // quiescent period: soft state drains
+  jsonl.flush();
+
+  const obs::NegotiationTimeline timeline =
+      obs::reconstruct_negotiation(trace, negotiation_id);
+  std::printf("negotiation %llu reconstructed (%zu events, tunnel %llu):\n",
+              static_cast<unsigned long long>(timeline.negotiation_id),
+              timeline.events.size(),
+              static_cast<unsigned long long>(timeline.tunnel_id));
+  std::printf("%8s  %-24s %5s %5s %7s  %s\n", "t", "event", "actor", "peer",
+              "value", "detail");
+  for (const obs::TraceEvent& event : timeline.events) {
+    std::printf("%8llu  %-24s %5u %5u %7lld  %s\n",
+                static_cast<unsigned long long>(event.time),
+                obs::to_string(event.type), event.actor, event.peer,
+                static_cast<long long>(event.value), event.detail);
+  }
+  std::printf("\nsummary: %s\n\n", timeline.summary().c_str());
+
+  obs::MetricsRegistry metrics;
+  requester.export_metrics(metrics, "requester");
+  responder.export_metrics(metrics, "responder");
+  bus.export_metrics(metrics, "bus");
+  metrics.write_text(std::cout);
+  std::ofstream metrics_out(metrics_path);
+  metrics.write_json(metrics_out);
+  metrics_out << "\n";
+
+  std::printf("\nwrote %llu trace events to %s and a metrics snapshot to"
+              " %s\n",
+              static_cast<unsigned long long>(trace.events_recorded()),
+              trace_path.c_str(), metrics_path.c_str());
+  return 0;
+}

@@ -44,6 +44,40 @@ MiroAgent::MiroAgent(NodeId self, RouteStore& store, Bus& bus,
   schedule_sweep();
 }
 
+void MiroAgent::trace(obs::EventType type, NodeId peer,
+                      std::uint64_t negotiation, TunnelId tunnel,
+                      std::int64_t value, const char* detail) {
+  if (trace_ == nullptr) return;
+  trace_->record({bus_->scheduler().now(), type, self_, peer, negotiation,
+                  tunnel, value, detail});
+}
+
+void MiroAgent::export_metrics(obs::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  auto set = [&](const char* name, std::size_t value) {
+    registry.counter(prefix + "." + name).set(value);
+  };
+  set("requests_sent", stats_.requests_sent);
+  set("requests_received", stats_.requests_received);
+  set("requests_rejected", stats_.requests_rejected);
+  set("offers_sent", stats_.offers_sent);
+  set("tunnels_established", stats_.tunnels_established);
+  set("tunnels_expired", stats_.tunnels_expired);
+  set("tunnels_torn_down", stats_.tunnels_torn_down);
+  set("switches_accepted", stats_.switches_accepted);
+  set("switches_declined", stats_.switches_declined);
+  set("retransmissions", stats_.retransmissions);
+  set("duplicates_suppressed", stats_.duplicates_suppressed);
+  set("tunnels_failed_over", stats_.tunnels_failed_over);
+  set("negotiations_abandoned", stats_.negotiations_abandoned);
+  set("renegotiations", stats_.renegotiations);
+  set("stale_confirms_reclaimed", stats_.stale_confirms_reclaimed);
+  registry.gauge(prefix + ".upstream_tunnels")
+      .set(static_cast<double>(upstream_.size()));
+  registry.gauge(prefix + ".downstream_tunnels")
+      .set(static_cast<double>(tunnels_.active_count()));
+}
+
 // ------------------------------------------------------ reliability helpers
 
 sim::Time MiroAgent::retry_delay(std::uint32_t attempt) {
@@ -76,6 +110,11 @@ void MiroAgent::arm_retry(std::uint64_t id) {
         if (it == pending_.end()) return;  // completed meanwhile
         ++it->second.attempts;
         ++stats_.retransmissions;
+        trace(obs::EventType::Retransmit, it->second.responder, id, 0,
+              it->second.attempts,
+              it->second.phase == PendingRequest::Phase::AwaitingOffers
+                  ? "route_request"
+                  : "tunnel_accept");
         send_handshake(id);
         arm_retry(id);
       });
@@ -97,6 +136,7 @@ void MiroAgent::complete(std::uint64_t id, const NegotiationOutcome& outcome) {
 
 void MiroAgent::send_teardown(NodeId responder, TunnelId tunnel_id,
                               std::uint32_t attempt) {
+  trace(obs::EventType::TunnelTeardownSent, responder, 0, tunnel_id, attempt);
   bus_->send(self_, responder, TunnelTeardown{tunnel_id});
   if (attempt >= soft_state_.teardown_retransmits) return;
   // Teardown carries no acknowledgment, so the extra copies are sent blind;
@@ -104,6 +144,8 @@ void MiroAgent::send_teardown(NodeId responder, TunnelId tunnel_id,
   bus_->scheduler().after(retry_delay(attempt),
                           [this, responder, tunnel_id, attempt]() {
                             ++stats_.retransmissions;
+                            trace(obs::EventType::Retransmit, responder, 0,
+                                  tunnel_id, attempt + 1, "teardown");
                             send_teardown(responder, tunnel_id, attempt + 1);
                           });
 }
@@ -114,6 +156,10 @@ void MiroAgent::fail_over(TunnelId tunnel_id, TunnelLostEvent::Reason reason) {
   const UpstreamTunnel lost = it->second;
   upstream_.erase(it);
   ++stats_.tunnels_failed_over;
+  trace(obs::EventType::TunnelFailedOver, lost.responder, 0, tunnel_id, 0,
+        reason == TunnelLostEvent::Reason::MissedKeepAlives
+            ? "missed_keepalives"
+            : "responder_reset");
 
   // From here traffic to `lost.destination` rides the BGP default path
   // again; re-negotiation (if enabled) is rate-limited per
@@ -128,6 +174,9 @@ void MiroAgent::fail_over(TunnelId tunnel_id, TunnelLostEvent::Reason reason) {
     if (now >= until) {
       until = now + soft_state_.renegotiate_hold_down;
       will_renegotiate = true;
+      trace(obs::EventType::RenegotiationScheduled, lost.responder, 0,
+            tunnel_id,
+            static_cast<std::int64_t>(soft_state_.renegotiate_hold_down));
       bus_->scheduler().after(soft_state_.renegotiate_hold_down,
                               [this, lost]() {
                                 ++stats_.renegotiations;
@@ -177,6 +226,7 @@ std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
                                       Route{}, 0, 0, {}, {}})
           .first->second;
   ++stats_.requests_sent;
+  trace(obs::EventType::NegotiationRequested, responder, id);
   send_handshake(id);
   arm_retry(id);
   // Fail locally if the responder stays silent past every retransmission
@@ -188,6 +238,8 @@ std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
         auto it = pending_.find(id);
         if (it == pending_.end()) return;  // completed in time
         ++stats_.negotiations_abandoned;
+        trace(obs::EventType::NegotiationFailed, it->second.responder, id, 0,
+              0, "timeout");
         NegotiationOutcome outcome;
         outcome.responder = it->second.responder;
         outcome.offers_received = it->second.offers_received;
@@ -259,9 +311,13 @@ void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
     // A duplicated or retransmission-induced second batch of offers after
     // the accept went out; the accept has its own retransmission timer.
     ++stats_.duplicates_suppressed;
+    trace(obs::EventType::DuplicateSuppressed, from, offers.negotiation_id, 0,
+          0, "route_offers");
     return;
   }
   pending.offers_received = offers.offers.size();
+  trace(obs::EventType::OffersReceived, from, offers.negotiation_id, 0,
+        static_cast<std::int64_t>(offers.offers.size()));
 
   // Pick the cheapest acceptable offer; break price ties with the standard
   // route preference order.
@@ -276,6 +332,8 @@ void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
     }
   }
   if (best == nullptr) {
+    trace(obs::EventType::NegotiationFailed, from, offers.negotiation_id, 0,
+          0, "no_acceptable_offer");
     NegotiationOutcome outcome;
     outcome.responder = from;
     outcome.offers_received = pending.offers_received;
@@ -287,6 +345,8 @@ void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
   pending.chosen = best->route;
   pending.chosen_cost = best->cost;
   pending.attempts = 0;
+  trace(obs::EventType::AcceptSent, from, offers.negotiation_id, 0,
+        best->cost);
   send_handshake(offers.negotiation_id);
   arm_retry(offers.negotiation_id);
 }
@@ -300,6 +360,8 @@ void MiroAgent::handle(NodeId from, const TunnelAccept& accept) {
   if (it != minted_.end() && it->second.requester == from &&
       it->second.negotiation_id == accept.negotiation_id) {
     ++stats_.duplicates_suppressed;
+    trace(obs::EventType::DuplicateSuppressed, from, accept.negotiation_id,
+          it->second.tunnel_id, 0, "tunnel_accept");
     bus_->send(self_, from,
                TunnelConfirm{accept.negotiation_id, it->second.tunnel_id});
     return;
@@ -307,6 +369,8 @@ void MiroAgent::handle(NodeId from, const TunnelAccept& accept) {
   const sim::Time now = bus_->scheduler().now();
   const TunnelId id = tunnels_.create(from, accept.chosen, accept.cost, now);
   ++stats_.tunnels_established;
+  trace(obs::EventType::TunnelMinted, from, accept.negotiation_id, id,
+        accept.cost);
   minted_[key] = MintedTunnel{from, accept.negotiation_id, id, now};
   bus_->send(self_, from, TunnelConfirm{accept.negotiation_id, id});
 }
@@ -320,6 +384,10 @@ void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
                                      pending.destination, pending.avoid,
                                      pending.max_cost, 0});
     schedule_keepalive(confirm.tunnel_id);
+    trace(obs::EventType::TunnelConfirmed, from, confirm.negotiation_id,
+          confirm.tunnel_id);
+    trace(obs::EventType::NegotiationEstablished, from,
+          confirm.negotiation_id, confirm.tunnel_id, pending.chosen_cost);
 
     NegotiationOutcome outcome;
     outcome.established = true;
@@ -339,6 +407,8 @@ void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
   if (done != completed_.end() && done->second.responder == from &&
       done->second.tunnel_id == confirm.tunnel_id) {
     ++stats_.duplicates_suppressed;
+    trace(obs::EventType::DuplicateSuppressed, from, confirm.negotiation_id,
+          confirm.tunnel_id, 0, "tunnel_confirm");
     return;
   }
   // Retention may have forgotten the completion, but a live upstream tunnel
@@ -346,6 +416,8 @@ void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
   auto up = upstream_.find(confirm.tunnel_id);
   if (up != upstream_.end() && up->second.responder == from) {
     ++stats_.duplicates_suppressed;
+    trace(obs::EventType::DuplicateSuppressed, from, confirm.negotiation_id,
+          confirm.tunnel_id, 0, "tunnel_confirm");
     return;
   }
 
@@ -354,6 +426,8 @@ void MiroAgent::handle(NodeId from, const TunnelConfirm& confirm) {
   // the responder would hold the orphan until soft-state expiry; answer
   // with a teardown to reclaim it promptly.
   ++stats_.stale_confirms_reclaimed;
+  trace(obs::EventType::StaleConfirmReclaimed, from, confirm.negotiation_id,
+        confirm.tunnel_id);
   send_teardown(from, confirm.tunnel_id, 0);
 }
 
@@ -376,8 +450,10 @@ void MiroAgent::handle(NodeId from, const TunnelKeepAliveAck& ack) {
 }
 
 void MiroAgent::handle(NodeId from, const TunnelTeardown& teardown) {
-  (void)from;
-  if (tunnels_.remove(teardown.tunnel_id)) ++stats_.tunnels_torn_down;
+  if (tunnels_.remove(teardown.tunnel_id)) {
+    ++stats_.tunnels_torn_down;
+    trace(obs::EventType::TunnelTornDown, from, 0, teardown.tunnel_id);
+  }
 }
 
 // ---------------------------------------------------------------- switches
@@ -451,6 +527,11 @@ void MiroAgent::schedule_keepalive(TunnelId tunnel_id) {
       fail_over(tunnel_id, TunnelLostEvent::Reason::MissedKeepAlives);
       return;
     }
+    if (it->second.unacked_keepalives > 0) {
+      // The previous keep-alive (or its ack) was lost in flight.
+      trace(obs::EventType::KeepAliveMissed, it->second.responder, 0,
+            tunnel_id, it->second.unacked_keepalives);
+    }
     ++it->second.unacked_keepalives;
     bus_->send(self_, it->second.responder, TunnelKeepAlive{tunnel_id});
     schedule_keepalive(tunnel_id);
@@ -462,6 +543,8 @@ void MiroAgent::schedule_sweep() {
     const sim::Time now = bus_->scheduler().now();
     const auto expired = tunnels_.expire(now, soft_state_.expiry_timeout);
     stats_.tunnels_expired += expired.size();
+    for (net::TunnelId id : expired)
+      trace(obs::EventType::TunnelExpired, /*peer=*/0, 0, id);
     purge_dedup(now);
     schedule_sweep();
   });

@@ -50,6 +50,8 @@
 #include "core/route_store.hpp"
 #include "core/tunnel.hpp"
 #include "netsim/message_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace miro::core {
 
@@ -300,6 +302,19 @@ class MiroAgent {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attaches (or clears, with nullptr) a trace recorder observing this
+  /// agent's negotiation phase transitions, retransmissions, and tunnel
+  /// lifecycle. Null recorder costs one branch per event and allocates
+  /// nothing (see obs/trace.hpp).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Snapshots this agent's counters into `registry` as
+  /// `<prefix>.requests_sent`, `<prefix>.retransmissions`, ... (safe to call
+  /// repeatedly; values are overwritten, and nothing references the agent
+  /// afterwards). Supersedes hand-rolled rendering of the Stats struct.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "agent") const;
+
   NodeId self() const { return self_; }
 
  private:
@@ -349,6 +364,11 @@ class MiroAgent {
   void fail_over(TunnelId tunnel_id, TunnelLostEvent::Reason reason);
   /// Forgets completed-negotiation dedup records older than the retention.
   void purge_dedup(sim::Time now);
+  /// Records one trace event stamped with the current sim time; no-op (one
+  /// branch, zero allocation) when no recorder is attached.
+  void trace(obs::EventType type, NodeId peer, std::uint64_t negotiation = 0,
+             TunnelId tunnel = 0, std::int64_t value = 0,
+             const char* detail = "");
 
   NodeId self_;
   RouteStore* store_;
@@ -391,6 +411,7 @@ class MiroAgent {
   TunnelLostCallback on_tunnel_lost_;
   CompletionCallback on_renegotiated_;
   Stats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace miro::core

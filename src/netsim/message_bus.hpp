@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -20,19 +21,24 @@
 #include "common/error.hpp"
 #include "netsim/fault_injection.hpp"
 #include "netsim/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace miro::sim {
 
-/// Per-bus delivery accounting. Every send ends up in exactly one of
-/// delivered / dropped_link_down / dropped_faults / dropped_unattached,
-/// except that a fault-plane duplication can add a second terminal outcome
-/// for the extra copy.
+/// Per-bus delivery accounting. Every copy put on the wire has exactly one
+/// terminal outcome; once all in-flight copies have drained,
+///   sent + duplicates_scheduled ==
+///       delivered + dropped_link_down + dropped_faults + dropped_unattached.
+/// (A fault-plane duplication schedules an extra copy, which is counted in
+/// duplicates_scheduled so its terminal outcome does not skew the balance.)
 struct BusStats {
-  std::uint64_t sent = 0;               ///< send() calls
-  std::uint64_t delivered = 0;          ///< copies handed to a handler
-  std::uint64_t dropped_link_down = 0;  ///< lost to a partitioned link
-  std::uint64_t dropped_faults = 0;     ///< discarded by the fault plane
-  std::uint64_t dropped_unattached = 0; ///< no handler at the destination
+  std::uint64_t sent = 0;                  ///< send() calls
+  std::uint64_t duplicates_scheduled = 0;  ///< extra fault-plane copies
+  std::uint64_t delivered = 0;             ///< copies handed to a handler
+  std::uint64_t dropped_link_down = 0;     ///< lost to a partitioned link
+  std::uint64_t dropped_faults = 0;        ///< discarded by the fault plane
+  std::uint64_t dropped_unattached = 0;    ///< no handler at the destination
 };
 
 template <typename Message>
@@ -54,16 +60,26 @@ class MessageBus {
   /// unattached endpoints are dropped (and counted).
   void send(EndpointId from, EndpointId to, Message message) {
     ++stats_.sent;
+    if (trace_ != nullptr)
+      trace_->record({scheduler_->now(), obs::EventType::BusSend, from, to});
     if (is_down(from, to)) {  // lost: the link is partitioned
-      ++stats_.dropped_link_down;
+      drop(from, to, stats_.dropped_link_down, "link_down");
       return;
     }
     std::vector<Time> copies{0};
     if (fault_plane_ != nullptr) {
       copies = fault_plane_->plan(from, to);
       if (copies.empty()) {
-        ++stats_.dropped_faults;
+        drop(from, to, stats_.dropped_faults, "faults");
         return;
+      }
+      if (copies.size() > 1) {
+        stats_.duplicates_scheduled += copies.size() - 1;
+        if (trace_ != nullptr) {
+          trace_->record({scheduler_->now(), obs::EventType::BusDuplicate,
+                          from, to, 0, 0,
+                          static_cast<std::int64_t>(copies.size()), ""});
+        }
       }
     }
     const Time delay = delay_of(from, to);
@@ -95,24 +111,58 @@ class MessageBus {
   void set_fault_plane(FaultPlane* plane) { fault_plane_ = plane; }
   FaultPlane* fault_plane() const { return fault_plane_; }
 
+  /// Attaches (or clears, with nullptr) a trace recorder observing every
+  /// send/deliver/drop/duplicate on this bus. Null recorder costs one
+  /// branch per event and allocates nothing.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   const BusStats& stats() const { return stats_; }
+
+  /// Snapshots the delivery accounting into `registry` as counters named
+  /// `<prefix>.sent`, `<prefix>.delivered`, ... (safe to call repeatedly;
+  /// values are overwritten, and nothing references the bus afterwards).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "bus") const {
+    registry.counter(prefix + ".sent").set(stats_.sent);
+    registry.counter(prefix + ".duplicates_scheduled")
+        .set(stats_.duplicates_scheduled);
+    registry.counter(prefix + ".delivered").set(stats_.delivered);
+    registry.counter(prefix + ".dropped_link_down")
+        .set(stats_.dropped_link_down);
+    registry.counter(prefix + ".dropped_faults").set(stats_.dropped_faults);
+    registry.counter(prefix + ".dropped_unattached")
+        .set(stats_.dropped_unattached);
+  }
 
   Scheduler& scheduler() { return *scheduler_; }
 
  private:
+  void drop(EndpointId from, EndpointId to, std::uint64_t& bucket,
+            const char* reason) {
+    ++bucket;
+    if (trace_ != nullptr) {
+      trace_->record({scheduler_->now(), obs::EventType::BusDrop, from, to, 0,
+                      0, 0, reason});
+    }
+  }
+
   void schedule_delivery(EndpointId from, EndpointId to, Time delay,
                          Message message) {
     scheduler_->after(delay, [this, from, to, msg = std::move(message)]() {
       if (is_down(from, to)) {  // partitioned while in flight
-        ++stats_.dropped_link_down;
+        drop(from, to, stats_.dropped_link_down, "link_down");
         return;
       }
       auto it = handlers_.find(to);
       if (it == handlers_.end()) {
-        ++stats_.dropped_unattached;
+        drop(from, to, stats_.dropped_unattached, "unattached");
         return;
       }
       ++stats_.delivered;
+      if (trace_ != nullptr) {
+        trace_->record(
+            {scheduler_->now(), obs::EventType::BusDeliver, from, to});
+      }
       if (fault_plane_ != nullptr) fault_plane_->note_delivered(from, to);
       it->second(from, msg);
     });
@@ -131,6 +181,7 @@ class MessageBus {
   Scheduler* scheduler_;
   Time default_delay_;
   FaultPlane* fault_plane_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   std::unordered_map<EndpointId, Handler> handlers_;
   std::unordered_map<std::uint64_t, Time> delays_;
   std::unordered_set<std::uint64_t> down_;

@@ -1,5 +1,7 @@
 #include "netsim/scheduler.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace miro::sim {
@@ -9,6 +11,10 @@ Scheduler::TimerToken Scheduler::at(Time t, Callback callback) {
   require(static_cast<bool>(callback), "Scheduler::at: empty callback");
   auto alive = std::make_shared<bool>(true);
   queue_.push(Event{t, next_sequence_++, std::move(callback), alive});
+  if (trace_ != nullptr) {
+    trace_->record({now_, obs::EventType::TimerScheduled, 0, 0, 0, 0,
+                    static_cast<std::int64_t>(t), ""});
+  }
   return TimerToken(std::move(alive));
 }
 
@@ -17,8 +23,18 @@ bool Scheduler::run_one() {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.time;
-    if (!*event.alive) continue;  // cancelled
-    *event.alive = false;         // mark fired
+    if (!*event.alive) {  // cancelled
+      if (trace_ != nullptr) {
+        trace_->record({event.time, obs::EventType::TimerCancelled, 0, 0, 0, 0,
+                        static_cast<std::int64_t>(event.sequence), ""});
+      }
+      continue;
+    }
+    *event.alive = false;  // mark fired
+    if (trace_ != nullptr) {
+      trace_->record({event.time, obs::EventType::TimerFired, 0, 0, 0, 0,
+                      static_cast<std::int64_t>(event.sequence), ""});
+    }
     event.callback();
     return true;
   }
@@ -37,8 +53,15 @@ std::size_t Scheduler::run_until(Time t) {
 std::size_t Scheduler::run_all(std::size_t max_events) {
   std::size_t executed = 0;
   while (run_one()) {
-    require(++executed <= max_events,
-            "Scheduler::run_all: event budget exhausted (runaway simulation?)");
+    if (++executed > max_events) {
+      // A livelocked chaos run must be tellable apart from any other
+      // require() failure, so report where the simulation was stuck.
+      throw Error("Scheduler::run_all: event budget exhausted (runaway "
+                  "simulation?): now=" +
+                  std::to_string(now_) +
+                  ", pending_events=" + std::to_string(queue_.size()) +
+                  ", max_events=" + std::to_string(max_events));
+    }
   }
   return executed;
 }

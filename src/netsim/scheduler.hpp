@@ -12,6 +12,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace miro::sim {
 
 /// Simulated time in abstract ticks (the protocol code treats one tick as a
@@ -62,6 +64,12 @@ class Scheduler {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches (or clears, with nullptr) a trace recorder observing timer
+  /// schedule/fire/cancel events. A cancellation is observed when the dead
+  /// event is popped, carrying its originally scheduled time. Null recorder
+  /// costs one branch per operation and allocates nothing.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct Event {
     Time time;
@@ -79,6 +87,7 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace miro::sim

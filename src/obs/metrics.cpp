@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace miro::obs {
+
+void Histogram::observe(double value) {
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  if (value < 1) {
+    ++underflow_;
+    return;
+  }
+  const auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));
+  if (exponent >= buckets_.size()) buckets_.resize(exponent + 1, 0);
+  ++buckets_[exponent];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  require(gauges_.find(name) == gauges_.end() &&
+              histograms_.find(name) == histograms_.end(),
+          "MetricsRegistry: '" + name + "' already bound to another kind");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  require(counters_.find(name) == counters_.end() &&
+              histograms_.find(name) == histograms_.end(),
+          "MetricsRegistry: '" + name + "' already bound to another kind");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  require(counters_.find(name) == counters_.end() &&
+              gauges_.find(name) == gauges_.end(),
+          "MetricsRegistry: '" + name + "' already bound to another kind");
+  return histograms_[name];
+}
+
+const Counter& MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  require(it != counters_.end(),
+          "MetricsRegistry: no counter named '" + name + "'");
+  return it->second;
+}
+
+const Gauge& MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  require(it != gauges_.end(),
+          "MetricsRegistry: no gauge named '" + name + "'");
+  return it->second;
+}
+
+const Histogram& MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  require(it != histograms_.end(),
+          "MetricsRegistry: no histogram named '" + name + "'");
+  return it->second;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  TextTable table({"metric", "kind", "value", "detail"});
+  for (const auto& [name, counter] : counters_) {
+    table.add_row({name, "counter", std::to_string(counter.value()), ""});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    table.add_row({name, "gauge", TextTable::num(gauge.value()), ""});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    table.add_row({name, "histogram", std::to_string(histogram.count()),
+                   "min=" + TextTable::num(histogram.min()) +
+                       " mean=" + TextTable::num(histogram.mean()) +
+                       " max=" + TextTable::num(histogram.max())});
+  }
+  table.print(out);
+}
+
+namespace {
+
+std::string json_number(double value) {
+  // Integral doubles print without a fraction so counters-as-gauges stay
+  // readable; everything else keeps full precision via to_string.
+  if (std::floor(value) == value && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return std::to_string(value);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << counter.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << json_number(gauge.value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << histogram.count()
+        << ",\"sum\":" << json_number(histogram.sum())
+        << ",\"min\":" << json_number(histogram.min())
+        << ",\"max\":" << json_number(histogram.max())
+        << ",\"underflow\":" << histogram.underflow() << ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+      if (i != 0) out << ",";
+      out << histogram.bucket(i);
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+}  // namespace miro::obs

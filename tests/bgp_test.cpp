@@ -276,6 +276,29 @@ TEST(PathVectorEngine, RandomFairScheduleConverges) {
             (std::vector<topo::NodeId>{fig.a, fig.b, fig.e, fig.f}));
 }
 
+TEST(PathVectorEngine, TraceRecordsSelectionChanges) {
+  Figure31Topology fig;
+  PathVectorEngine engine(fig.graph, fig.f);
+  obs::TraceRecorder trace(1 << 10);
+  engine.set_trace(&trace);
+  ASSERT_TRUE(engine.run_to_stable().has_value());
+  // Every node that ends up with a route selected one at least once.
+  EXPECT_GE(trace.count(obs::EventType::BgpRouteSelected), 5u);
+  // A's final selection is traced with its path length as the value.
+  bool saw_a = false;
+  for (const obs::TraceEvent& event : trace.snapshot()) {
+    if (event.type == obs::EventType::BgpRouteSelected &&
+        event.actor == fig.a) {
+      saw_a = true;
+      EXPECT_EQ(event.peer, fig.f);  // peer carries the destination
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_EQ(trace.events_recorded(), trace.count(obs::EventType::BgpRouteSelected) +
+                                         trace.count(obs::EventType::BgpRouteWithdrawn));
+  EXPECT_GT(engine.activations(), 0u);
+}
+
 TEST(PathVectorEngine, CandidatesMatchSolver) {
   Figure31Topology fig;
   StableRouteSolver solver(fig.graph);

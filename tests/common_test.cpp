@@ -232,6 +232,63 @@ TEST(UnionFind, UniteAndFind) {
   EXPECT_EQ(uf.set_size(5), 1u);
 }
 
+TEST(Summary, EmptyThrowsOnEveryQuery) {
+  Summary s;
+  EXPECT_THROW(s.percentile(0), Error);
+  EXPECT_THROW(s.percentile(100), Error);
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.max(), Error);
+  EXPECT_THROW(s.fraction_at_most(1), Error);
+  EXPECT_THROW(s.fraction_at_least(1), Error);
+}
+
+TEST(Summary, PercentileBoundsAreMinAndMax) {
+  Summary s;
+  for (double v : {42.0, -3.0, 17.0, 99.5}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), s.min());
+  EXPECT_DOUBLE_EQ(s.percentile(100), 99.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), s.max());
+  EXPECT_THROW(s.percentile(-0.001), Error);
+  EXPECT_THROW(s.percentile(100.001), Error);
+}
+
+TEST(Summary, PercentileOnSingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Summary, AddCountZeroAddsNothing) {
+  Summary s;
+  s.add_count(5.0, 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  s.add_count(5.0, 3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(LogHistogram, SamplesBelowOneAreExcluded) {
+  // Buckets start at 1; sub-1 samples must neither crash (log2 of a value
+  // < 1 is negative) nor land in any bucket.
+  const auto buckets = log2_histogram({0.25, 0.5, 0.99, 1.0, 3.0});
+  ASSERT_EQ(buckets.size(), 2u);  // [1,2) and [2,4), from max_value 3
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 1u);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, 2u);  // the three sub-1 samples fell nowhere
+}
+
+TEST(LogHistogram, AllSamplesBelowOneYieldNoBuckets) {
+  EXPECT_TRUE(log2_histogram({0.1, 0.5, 0.9}).empty());
+  EXPECT_TRUE(log2_histogram({}).empty());
+}
+
 TEST(Hash, Fnv1aMatchesKnownVector) {
   // FNV-1a("") is the offset basis; "a" is a published test vector.
   EXPECT_EQ(fnv1a(""), kFnvOffset);

@@ -291,6 +291,142 @@ TEST(MessageBus, FaultPlaneDuplicationDeliversBothCopies) {
   EXPECT_EQ(bus.stats().delivered, 2u);
 }
 
+TEST(Scheduler, RunAllRunawayErrorReportsSimulationState) {
+  Scheduler scheduler;
+  // A self-rescheduling event never drains the queue.
+  std::function<void()> reschedule = [&] {
+    scheduler.after(5, reschedule);
+  };
+  scheduler.after(5, reschedule);
+  try {
+    scheduler.run_all(/*max_events=*/10);
+    FAIL() << "expected the runaway guard to throw";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("runaway"), std::string::npos) << what;
+    EXPECT_NE(what.find("now=" + std::to_string(scheduler.now())),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("pending_events=" +
+                        std::to_string(scheduler.pending_events())),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("max_events=10"), std::string::npos) << what;
+  }
+}
+
+TEST(Scheduler, TraceRecordsScheduleFireAndCancel) {
+  Scheduler scheduler;
+  obs::TraceRecorder trace(64);
+  scheduler.set_trace(&trace);
+  scheduler.at(10, [] {});
+  auto cancelled = scheduler.at(20, [] {});
+  cancelled.cancel();
+  scheduler.run_all();
+  EXPECT_EQ(trace.count(obs::EventType::TimerScheduled), 2u);
+  EXPECT_EQ(trace.count(obs::EventType::TimerFired), 1u);
+  EXPECT_EQ(trace.count(obs::EventType::TimerCancelled), 1u);
+}
+
+TEST(MessageBus, DuplicatedCopyLostToInFlightPartitionKeepsInvariant) {
+  // A fault-plane duplicated copy that then hits an in-flight partition
+  // used to skew "every send has exactly one terminal outcome";
+  // duplicates_scheduled restores the balance.
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  FaultPlane plane(7);
+  plane.set_default_profile({0.0, /*duplicate=*/1.0, 0});
+  bus.set_fault_plane(&plane);
+  int received = 0;
+  bus.attach(2, [&](EndpointId, int) { ++received; });
+  bus.send(1, 2, 1);
+  scheduler.run_until(5);       // both copies still in flight
+  bus.set_link_down(1, 2, true);
+  scheduler.run_all();
+  EXPECT_EQ(received, 0);
+  const BusStats& s = bus.stats();
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.duplicates_scheduled, 1u);
+  EXPECT_EQ(s.dropped_link_down, 2u);  // both copies, each counted
+  EXPECT_EQ(s.sent + s.duplicates_scheduled,
+            s.delivered + s.dropped_link_down + s.dropped_faults +
+                s.dropped_unattached);
+}
+
+TEST(MessageBus, DuplicatedCopyToUnattachedEndpointKeepsInvariant) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  FaultPlane plane(7);
+  plane.set_default_profile({0.0, /*duplicate=*/1.0, 0});
+  bus.set_fault_plane(&plane);
+  bus.send(1, 99, 1);  // nobody attached at 99
+  scheduler.run_all();
+  const BusStats& s = bus.stats();
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.duplicates_scheduled, 1u);
+  EXPECT_EQ(s.dropped_unattached, 2u);
+  EXPECT_EQ(s.sent + s.duplicates_scheduled,
+            s.delivered + s.dropped_link_down + s.dropped_faults +
+                s.dropped_unattached);
+}
+
+TEST(MessageBus, TraceRecordsSendDeliverDropAndDuplicate) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  obs::TraceRecorder trace(128);
+  bus.set_trace(&trace);
+  FaultPlane plane(7);
+  bus.attach(2, [](EndpointId, int) {});
+
+  bus.send(1, 2, 1);  // clean delivery
+  scheduler.run_all();
+  EXPECT_EQ(trace.count(obs::EventType::BusSend), 1u);
+  EXPECT_EQ(trace.count(obs::EventType::BusDeliver), 1u);
+
+  bus.set_link_down(1, 2, true);
+  bus.send(1, 2, 2);  // dropped at send time
+  scheduler.run_all();
+  bus.set_link_down(1, 2, false);
+  const auto drops = [&] {
+    std::vector<obs::TraceEvent> out;
+    for (const obs::TraceEvent& e : trace.snapshot())
+      if (e.type == obs::EventType::BusDrop) out.push_back(e);
+    return out;
+  }();
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_STREQ(drops[0].detail, "link_down");
+
+  plane.set_default_profile({1.0, 0.0, 0});  // certain drop
+  bus.set_fault_plane(&plane);
+  bus.send(1, 2, 3);
+  scheduler.run_all();
+  plane.set_default_profile({0.0, /*duplicate=*/1.0, 0});
+  bus.send(1, 2, 4);
+  scheduler.run_all();
+  EXPECT_EQ(trace.count(obs::EventType::BusDuplicate), 1u);
+  std::size_t fault_drops = 0;
+  for (const obs::TraceEvent& e : trace.snapshot())
+    if (e.type == obs::EventType::BusDrop &&
+        std::string(e.detail) == "faults")
+      ++fault_drops;
+  EXPECT_EQ(fault_drops, 1u);
+}
+
+TEST(MessageBus, ExportMetricsSnapshotsDeliveryAccounting) {
+  Scheduler scheduler;
+  MessageBus<int> bus(scheduler, 10);
+  bus.attach(2, [](EndpointId, int) {});
+  bus.send(1, 2, 1);
+  bus.send(1, 3, 2);  // unattached
+  scheduler.run_all();
+  obs::MetricsRegistry registry;
+  bus.export_metrics(registry, "bus");
+  EXPECT_EQ(registry.counter("bus.sent").value(), 2u);
+  EXPECT_EQ(registry.counter("bus.delivered").value(), 1u);
+  EXPECT_EQ(registry.counter("bus.dropped_unattached").value(), 1u);
+  EXPECT_EQ(registry.counter("bus.duplicates_scheduled").value(), 0u);
+}
+
 TEST(MessageBus, JitterReordersIndependentMessages) {
   Scheduler scheduler;
   MessageBus<int> bus(scheduler, 10);

@@ -1,0 +1,224 @@
+// The observability substrate: trace recorder ring semantics, sinks, causal
+// reconstruction, and the metrics registry with its two exporters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace miro::obs {
+namespace {
+
+TraceEvent event_at(Time t, EventType type, std::uint64_t negotiation = 0) {
+  TraceEvent event;
+  event.time = t;
+  event.type = type;
+  event.actor = 1;
+  event.negotiation = negotiation;
+  return event;
+}
+
+TEST(TraceRecorder, KeepsEventsInOrder) {
+  TraceRecorder recorder(16);
+  recorder.record(event_at(5, EventType::NegotiationRequested, 1));
+  recorder.record(event_at(7, EventType::OffersReceived, 1));
+  recorder.record(event_at(9, EventType::AcceptSent, 1));
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, EventType::NegotiationRequested);
+  EXPECT_EQ(events[1].type, EventType::OffersReceived);
+  EXPECT_EQ(events[2].type, EventType::AcceptSent);
+  EXPECT_EQ(recorder.events_recorded(), 3u);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestButCountsEverything) {
+  TraceRecorder recorder(4);
+  for (Time t = 0; t < 10; ++t)
+    recorder.record(event_at(t, EventType::BusSend));
+  EXPECT_EQ(recorder.events_recorded(), 10u);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity bound the ring
+  EXPECT_EQ(events.front().time, 6u);
+  EXPECT_EQ(events.back().time, 9u);
+}
+
+TEST(TraceRecorder, SinksSeeEveryEventDespiteRingWrap) {
+  TraceRecorder recorder(2);
+  MemorySink memory;
+  CountingSink counting;
+  recorder.add_sink(&memory);
+  recorder.add_sink(&counting);
+  for (Time t = 0; t < 8; ++t)
+    recorder.record(event_at(t, EventType::BusDeliver));
+  EXPECT_EQ(memory.events().size(), 8u);
+  EXPECT_EQ(counting.count(), 8u);
+}
+
+TEST(TraceRecorder, FiltersByNegotiationTunnelAndType) {
+  TraceRecorder recorder(16);
+  recorder.record(event_at(1, EventType::NegotiationRequested, 10));
+  recorder.record(event_at(2, EventType::NegotiationRequested, 11));
+  recorder.record(event_at(3, EventType::Retransmit, 10));
+  TraceEvent tunnel_event = event_at(4, EventType::TunnelExpired);
+  tunnel_event.tunnel = 77;
+  recorder.record(tunnel_event);
+  EXPECT_EQ(recorder.for_negotiation(10).size(), 2u);
+  EXPECT_EQ(recorder.for_negotiation(11).size(), 1u);
+  EXPECT_EQ(recorder.for_tunnel(77).size(), 1u);
+  EXPECT_EQ(recorder.count(EventType::NegotiationRequested), 2u);
+  EXPECT_EQ(recorder.count(EventType::Retransmit, /*actor=*/1), 1u);
+  EXPECT_EQ(recorder.count(EventType::Retransmit, /*actor=*/9), 0u);
+}
+
+TEST(TraceRecorder, JsonlSinkWritesOneParseableLinePerEvent) {
+  const std::string path =
+      ::testing::TempDir() + "obs_test_trace.jsonl";
+  {
+    TraceRecorder recorder(8);
+    JsonlFileSink sink(path);
+    recorder.add_sink(&sink);
+    TraceEvent event = event_at(42, EventType::BusDrop, 3);
+    event.peer = 9;
+    event.detail = "faults";
+    recorder.record(event);
+    recorder.record(event_at(43, EventType::BusSend));
+    EXPECT_EQ(sink.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"t\":42,\"type\":\"bus_drop\",\"actor\":1,\"peer\":9,"
+            "\"negotiation\":3,\"detail\":\"faults\"}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"t\":43,\"type\":\"bus_send\",\"actor\":1}");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(Reconstruction, OrdersPhasesAndJoinsTunnelLifetime) {
+  TraceRecorder recorder(32);
+  recorder.record(event_at(10, EventType::NegotiationRequested, 5));
+  recorder.record(event_at(50, EventType::Retransmit, 5));
+  recorder.record(event_at(90, EventType::Retransmit, 5));
+  recorder.record(event_at(120, EventType::OffersReceived, 5));
+  recorder.record(event_at(130, EventType::AcceptSent, 5));
+  TraceEvent established = event_at(160, EventType::NegotiationEstablished, 5);
+  established.tunnel = 3;
+  recorder.record(established);
+  // Tunnel-scoped follow-up: carries only the tunnel id.
+  TraceEvent expired = event_at(900, EventType::TunnelExpired);
+  expired.tunnel = 3;
+  recorder.record(expired);
+  // Noise from a different negotiation must not leak in.
+  recorder.record(event_at(15, EventType::NegotiationRequested, 6));
+
+  const NegotiationTimeline timeline = reconstruct_negotiation(recorder, 5);
+  EXPECT_EQ(timeline.negotiation_id, 5u);
+  EXPECT_EQ(timeline.tunnel_id, 3u);
+  EXPECT_TRUE(timeline.established);
+  EXPECT_FALSE(timeline.failed);
+  EXPECT_EQ(timeline.retransmits, 2u);
+  ASSERT_EQ(timeline.events.size(), 7u);
+  EXPECT_EQ(timeline.events.front().type, EventType::NegotiationRequested);
+  EXPECT_EQ(timeline.events.back().type, EventType::TunnelExpired);
+  EXPECT_EQ(timeline.summary(),
+            "negotiation_requested → retransmit ×2 → offers_received → "
+            "accept_sent → established → tunnel_expired");
+}
+
+TEST(Reconstruction, FailedNegotiationIsMarked) {
+  TraceRecorder recorder(8);
+  recorder.record(event_at(10, EventType::NegotiationRequested, 9));
+  TraceEvent failed = event_at(2010, EventType::NegotiationFailed, 9);
+  failed.detail = "timeout";
+  recorder.record(failed);
+  const NegotiationTimeline timeline = reconstruct_negotiation(recorder, 9);
+  EXPECT_TRUE(timeline.failed);
+  EXPECT_FALSE(timeline.established);
+  EXPECT_EQ(timeline.summary(), "negotiation_requested → failed");
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.counter("bus.sent").inc(3);
+  registry.counter("bus.sent").inc();
+  EXPECT_EQ(registry.counter("bus.sent").value(), 4u);
+
+  registry.gauge("tunnels.active").set(7);
+  EXPECT_DOUBLE_EQ(registry.gauge("tunnels.active").value(), 7.0);
+
+  int live = 0;
+  registry.gauge_source("live.value", [&live] { return live * 2.0; });
+  live = 21;
+  EXPECT_DOUBLE_EQ(registry.gauge("live.value").value(), 42.0);
+
+  Histogram& h = registry.histogram("rtt");
+  h.observe(0.5);   // underflow bucket
+  h.observe(1.0);   // bucket [1,2)
+  h.observe(3.0);   // bucket [2,4)
+  h.observe(3.5);   // bucket [2,4)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+
+  EXPECT_TRUE(registry.contains("bus.sent"));
+  EXPECT_FALSE(registry.contains("absent"));
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricsRegistry, NameCannotRebindToAnotherKind) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), Error);
+  EXPECT_THROW(registry.histogram("x"), Error);
+  registry.gauge("y");
+  EXPECT_THROW(registry.counter("y"), Error);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsDeterministicAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.count").set(2);
+  registry.counter("a.count").set(1);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string json = out.str();
+  // Sorted counters, then gauges, then histograms.
+  EXPECT_EQ(json.find("\"a.count\":1"), json.find("\"counters\"") + 12);
+  EXPECT_NE(json.find("\"b.count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[0,1]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistry, TextTableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("negotiations").set(30);
+  registry.gauge("tunnels").set(4);
+  registry.histogram("latency").observe(16.0);
+  std::ostringstream out;
+  registry.write_text(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("negotiations"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("30"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace miro::obs
