@@ -6,6 +6,7 @@
 // (Section 3.3's "AS B may ask AS C"). Expected shape: each step helps;
 // multi-hop adds a real but modest tail because "most paths in today's
 // Internet are short".
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -18,7 +19,12 @@ int main(int argc, char** argv) {
   try {
   using namespace miro;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  obs::ProfileRegistry prof;
+  obs::set_profile(&prof);
+  bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const eval::ExperimentPlan plan(args.config_for(profile));
     const core::AlternatesEngine engine(plan.solver());
     const auto tuples =
@@ -60,13 +66,24 @@ int main(int argc, char** argv) {
                      TextTable::percent(onehop_ok / n),
                      TextTable::percent(onpath_ok / n),
                      TextTable::percent(multi_ok / n)});
+      const std::string key =
+          profile + "." + core::to_string(policy);
+      json.add(key + ".bgp", bgp_ok / n, "fraction");
+      json.add(key + ".onehop", onehop_ok / n, "fraction");
+      json.add(key + ".onpath", onpath_ok / n, "fraction");
+      json.add(key + ".multihop", multi_ok / n, "fraction");
     }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
     std::cout << "Negotiation-scope ablation [" << profile << ", "
               << tuples.size() << " tuples]\n";
     table.print(std::cout);
     std::cout << "\n";
   }
-  return 0;
+  obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

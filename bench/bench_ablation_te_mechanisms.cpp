@@ -6,6 +6,7 @@
 // (local preference is compared before AS-path length, so only same-class
 // ties budge) and barely improves with depth; MIRO moves a meaningful,
 // finely-negotiated share with state at just two ASes.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -15,12 +16,27 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
-    miro::eval::print(miro::eval::run_te_comparison(plan), std::cout);
+    const auto result = miro::eval::run_te_comparison(plan);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    miro::eval::print(result, std::cout);
     std::cout << "\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
+    for (const auto& mechanism : result.mechanisms) {
+      json.add(profile + "." + mechanism.name + ".median_moved",
+               mechanism.median_moved, "fraction");
+    }
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -16,17 +16,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "eval/experiments.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::bench {
 
 /// Collects {name, value, unit} result rows plus the sim-config that
 /// produced them, and writes one JSON object:
 ///   {"config":{...},"results":[{"name":...,"value":...,"unit":...},...]}
+/// plus an optional "profile" section with the run's wall-clock span
+/// summary. All strings go through the shared JSON escaper and non-finite
+/// values are emitted as `null` (bare nan/inf are not JSON).
 /// A writer with an empty path is inert — add()/write() cost nothing, so
 /// benches call them unconditionally.
 class BenchJsonWriter {
@@ -39,11 +45,17 @@ class BenchJsonWriter {
     if (active()) config_.emplace_back(key, value);
   }
   void set_config(const std::string& key, double value) {
-    set_config(key, format_number(value));
+    set_config(key, json_number(value));
   }
 
   void add(const std::string& name, double value, const std::string& unit) {
     if (active()) rows_.push_back({name, value, unit});
+  }
+
+  /// Attaches (non-owning) a profiler whose per-span aggregates are written
+  /// as the snapshot's "profile" section; it must outlive write().
+  void set_profile(const obs::ProfileRegistry* profile) {
+    profile_ = profile;
   }
 
   /// Writes the snapshot; returns false (with a note on stderr) on I/O
@@ -58,28 +70,38 @@ class BenchJsonWriter {
     out << "{\"config\":{";
     for (std::size_t i = 0; i < config_.size(); ++i) {
       if (i != 0) out << ",";
-      out << "\"" << config_[i].first << "\":\"" << config_[i].second
-          << "\"";
+      out << "\"" << json_escape(config_[i].first) << "\":\""
+          << json_escape(config_[i].second) << "\"";
     }
     out << "},\"results\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       if (i != 0) out << ",";
-      out << "{\"name\":\"" << rows_[i].name
-          << "\",\"value\":" << format_number(rows_[i].value)
-          << ",\"unit\":\"" << rows_[i].unit << "\"}";
+      out << "{\"name\":\"" << json_escape(rows_[i].name)
+          << "\",\"value\":" << json_number(rows_[i].value)
+          << ",\"unit\":\"" << json_escape(rows_[i].unit) << "\"}";
     }
-    out << "]}\n";
+    out << "]";
+    if (profile_ != nullptr) {
+      out << ",\"profile\":{";
+      bool first = true;
+      for (const auto& [name, stats] : profile_->by_name()) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << json_escape(name)
+            << "\":{\"count\":" << stats.count << ",\"total_ms\":"
+            << json_number(static_cast<double>(stats.total_ns) / 1e6)
+            << ",\"self_ms\":"
+            << json_number(static_cast<double>(stats.self_ns) / 1e6)
+            << ",\"max_ms\":"
+            << json_number(static_cast<double>(stats.max_ns) / 1e6) << "}";
+      }
+      out << "}";
+    }
+    out << "}\n";
     return static_cast<bool>(out);
   }
 
  private:
-  static std::string format_number(double value) {
-    if (value == static_cast<double>(static_cast<long long>(value))) {
-      return std::to_string(static_cast<long long>(value));
-    }
-    return std::to_string(value);
-  }
-
   struct Row {
     std::string name;
     double value;
@@ -88,16 +110,22 @@ class BenchJsonWriter {
   std::string path_;
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<Row> rows_;
+  const obs::ProfileRegistry* profile_ = nullptr;
 };
 
 /// Pulls `--json <path>` out of argv (compacting it) and returns the path,
 /// or "" when absent. For benches whose remaining flags are parsed by
 /// another layer (google-benchmark's Initialize rejects unknown flags).
+/// A trailing `--json` with no value is an error, not a silent no-op.
 inline std::string take_json_flag(int& argc, char** argv) {
   std::string path;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for --json\n", argv[0]);
+        std::exit(2);
+      }
       path = argv[++i];
     } else {
       argv[out++] = argv[i];

@@ -1,0 +1,76 @@
+// Perf-regression gate CLI around obs::compare_bench_json.
+//
+//   ./bench_compare baseline.json current.json [--threshold 0.25]
+//                   [--min-magnitude X] [--check-values]
+//
+// Exit 0 when the gate passes, 1 on any regression / missing row, 2 on
+// bad usage or unreadable input. CI runs this against the checked-in
+// BENCH_PR3.json baseline; a >threshold slowdown on any gated (perf-unit)
+// row fails the build.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/regression.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare BASELINE.json CURRENT.json "
+               "[--threshold X] [--min-magnitude X] [--check-values]\n");
+  std::exit(2);
+}
+
+miro::JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return miro::JsonValue::parse(buffer.str());
+  } catch (const miro::Error& error) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  miro::obs::RegressionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--threshold") options.threshold = std::atof(value());
+    else if (flag == "--min-magnitude")
+      options.min_magnitude = std::atof(value());
+    else if (flag == "--check-values") options.check_values = true;
+    else if (!flag.empty() && flag[0] == '-') usage();
+    else if (baseline_path.empty()) baseline_path = flag;
+    else if (current_path.empty()) current_path = flag;
+    else usage();
+  }
+  if (baseline_path.empty() || current_path.empty()) usage();
+
+  const miro::JsonValue baseline = load(baseline_path);
+  const miro::JsonValue current = load(current_path);
+  const miro::obs::RegressionReport report =
+      miro::obs::compare_bench_json(baseline, current, options);
+  report.write_text(std::cout);
+  return report.ok() ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 // Paper shape: a heavy-tailed distribution where "only 0.2% of the ASes has
 // more than 200 neighbors, and less than 1% has more than 40"; the
 // high-degree nodes are the tier-1 core.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -12,11 +13,21 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     miro::eval::print_degree_distribution(profile, args.scale, std::cout);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
     std::cout << "\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

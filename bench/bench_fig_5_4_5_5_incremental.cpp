@@ -4,6 +4,7 @@
 // system already achieves ~40-50% of the full-deployment gain; the top 1%
 // yields ~50-75%; deploying at the low-degree edge first achieves almost
 // nothing until nearly everyone has converted.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -13,13 +14,30 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
     const auto result = miro::eval::run_incremental_deployment(plan);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
     miro::eval::print(result, std::cout);
     std::cout << "\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
+    if (!result.points.empty()) {
+      const auto& half = result.points[result.points.size() / 2];
+      json.add(profile + ".mid_gain.flexible", half.relative_gain[2],
+               "fraction");
+      json.add(profile + ".mid_gain.low_degree_first",
+               half.low_degree_first_gain, "fraction");
+    }
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

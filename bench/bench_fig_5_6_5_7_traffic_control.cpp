@@ -17,6 +17,10 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
@@ -27,8 +31,21 @@ int main(int argc, char** argv) {
         std::chrono::steady_clock::now() - start);
     miro::eval::print(result, std::cout);
     std::cout << "(computed in " << elapsed.count() << " ms)\n\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
+    json.add(profile + ".stubs_evaluated",
+             static_cast<double>(result.stubs_evaluated), "count");
+    for (const auto& series : result.series) {
+      const std::string key = profile + "." +
+                              miro::core::to_string(series.policy) +
+                              (series.convert_all ? ".convert_all"
+                                                  : ".independent");
+      json.add(key + ".median_best_move", series.median_best_move,
+               "fraction");
+    }
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

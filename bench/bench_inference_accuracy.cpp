@@ -7,6 +7,7 @@
 // truth is known, so the claim is directly measurable: generate a profile,
 // compute the stable BGP paths seen from a set of vantage points (what
 // RouteViews collects), run both inference algorithms, and score them.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -19,10 +20,15 @@ int main(int argc, char** argv) {
   try {
   using namespace miro;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  obs::ProfileRegistry prof;
+  obs::set_profile(&prof);
+  bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
 
   TextTable table({"profile", "vantages", "paths", "algorithm",
                    "edges seen", "accuracy", "missing", "spurious"});
   for (const std::string& profile_name : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const topo::AsGraph truth =
         topo::generate(topo::profile(profile_name, args.scale));
     bgp::StableRouteSolver solver(truth);
@@ -59,7 +65,13 @@ int main(int argc, char** argv) {
            TextTable::percent(accuracy.accuracy()),
            std::to_string(accuracy.edges_missing),
            std::to_string(accuracy.edges_spurious)});
+      json.add(profile_name + "." + run.name + ".accuracy",
+               accuracy.accuracy(), "fraction");
     }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    json.add(profile_name + ".elapsed",
+             static_cast<double>(elapsed.count()), "ms");
   }
   std::cout << "Relationship-inference accuracy against planted ground "
                "truth (Section 5.1 methodology)\n";
@@ -67,7 +79,8 @@ int main(int argc, char** argv) {
   std::cout << "(expected: Gao classifies most observed edges correctly and "
                "beats the rank algorithm, matching Mao et al.'s finding the "
                "dissertation cites)\n";
-  return 0;
+  obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -7,6 +7,7 @@
 //   - what MIRO adds: four control messages per negotiation plus periodic
 //     keep-alives per active tunnel — independent of topology size, paid
 //     only by the two negotiating ASes.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -21,11 +22,15 @@ int main(int argc, char** argv) {
   using namespace miro;
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::BenchJsonWriter json = args.json_writer();
+  obs::ProfileRegistry prof;
+  obs::set_profile(&prof);
+  json.set_profile(&prof);
 
   TextTable table({"profile", "ASes", "links", "BGP msgs to converge",
                    "msgs per link failure", "MIRO msgs per negotiation",
                    "keepalives/tunnel/100t"});
   for (const std::string& profile_name : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const topo::AsGraph graph =
         topo::generate(topo::profile(profile_name, args.scale * 0.5));
 
@@ -92,6 +97,10 @@ int main(int argc, char** argv) {
              static_cast<double>(failure_msgs), "messages");
     json.add(profile_name + ".miro_negotiation",
              static_cast<double>(negotiation_msgs), "messages");
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    json.add(profile_name + ".elapsed",
+             static_cast<double>(elapsed.count()), "ms");
   }
   std::cout << "Control-plane message overhead: BGP baseline vs MIRO "
                "additions\n";
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
                "network; a MIRO negotiation costs a constant four messages "
                "between exactly two ASes, plus soft-state keep-alives on "
                "established tunnels)\n";
+  obs::set_profile(nullptr);
   return json.write() ? 0 : 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,187 @@
+// Unified bench driver: runs every reproduction bench with --json, merges
+// the per-bench snapshots (result rows + wall-clock profiler summaries)
+// into one top-level document — the format the perf-regression gate
+// (bench_compare, obs/regression.hpp) consumes and the BENCH_PR3.json
+// baseline is checked in as:
+//   {"suite":"miro-bench","schema":1,"config":{...},"benches":{...}}
+//
+//   ./run_suite [--out PATH] [--bin-dir DIR] [--scale X] [--dests N]
+//               [--sources N] [--seed N] [--profile NAME] [--skip NAME]...
+//               [--quick]
+//
+// --quick shrinks every knob for CI (one profile, small samples) so the
+// gate measures relative shape, not absolute scale. Bench stdout goes to
+// the console (it is the human-readable reproduction); only the JSON
+// snapshots are merged.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+struct BenchSpec {
+  const char* name;
+  bool takes_eval_flags;  ///< accepts --profile/--scale/--dests/--sources
+};
+
+// Every reproduction bench. bench_micro_protocol is google-benchmark based
+// and slow by design; it participates with its own flag set.
+const BenchSpec kBenches[] = {
+    {"bench_table_5_1_datasets", true},
+    {"bench_fig_5_1_degree_distribution", true},
+    {"bench_fig_5_2_5_3_path_diversity", true},
+    {"bench_table_5_2_avoid_success", true},
+    {"bench_table_5_3_negotiation_state", true},
+    {"bench_fig_5_4_5_5_incremental", true},
+    {"bench_fig_5_6_5_7_traffic_control", true},
+    {"bench_convergence_lab", false},
+    {"bench_ablation_te_mechanisms", true},
+    {"bench_ablation_negotiation_scope", true},
+    {"bench_inference_accuracy", true},
+    {"bench_overhead_messages", true},
+};
+
+struct SuiteArgs {
+  std::string out = "BENCH_PR3.json";
+  std::string bin_dir;
+  std::string profile;  // empty = every paper profile
+  double scale = 0.25;
+  std::size_t dests = 20;
+  std::size_t sources = 10;
+  std::uint64_t seed = 42;
+  std::set<std::string> skip;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--bin-dir DIR] [--scale X] "
+               "[--dests N] [--sources N] [--seed N] [--profile NAME] "
+               "[--skip NAME]... [--quick]\n",
+               argv0);
+  std::exit(2);
+}
+
+SuiteArgs parse(int argc, char** argv) {
+  SuiteArgs args;
+  // Default bin dir: wherever this driver lives (all benches are siblings).
+  const std::string self = argv[0];
+  const std::size_t slash = self.find_last_of('/');
+  args.bin_dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") args.out = value();
+    else if (flag == "--bin-dir") args.bin_dir = value();
+    else if (flag == "--scale") args.scale = std::atof(value());
+    else if (flag == "--dests")
+      args.dests = static_cast<std::size_t>(std::atoll(value()));
+    else if (flag == "--sources")
+      args.sources = static_cast<std::size_t>(std::atoll(value()));
+    else if (flag == "--seed")
+      args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (flag == "--profile") args.profile = value();
+    else if (flag == "--skip") args.skip.insert(value());
+    else if (flag == "--quick") {
+      args.profile = "gao2005";
+      args.scale = 0.15;
+      args.dests = 10;
+      args.sources = 8;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SuiteArgs args = parse(argc, argv);
+
+  miro::JsonValue benches = miro::JsonValue::make_object();
+  std::size_t failures = 0;
+  for (const BenchSpec& spec : kBenches) {
+    if (args.skip.count(spec.name) != 0) {
+      std::printf("== %s (skipped)\n", spec.name);
+      continue;
+    }
+    const std::string snapshot_path =
+        args.out + "." + spec.name + ".part.json";
+    std::string command = args.bin_dir + "/" + spec.name;
+    if (spec.takes_eval_flags) {
+      command += " --scale " + std::to_string(args.scale);
+      command += " --dests " + std::to_string(args.dests);
+      command += " --sources " + std::to_string(args.sources);
+      command += " --seed " + std::to_string(args.seed);
+      if (!args.profile.empty()) command += " --profile " + args.profile;
+    }
+    command += " --json " + snapshot_path;
+    std::printf("== %s\n", spec.name);
+    std::fflush(stdout);
+    const int status = std::system(command.c_str());
+    const std::string text = read_file(snapshot_path);
+    std::remove(snapshot_path.c_str());
+    if (status != 0 || text.empty()) {
+      std::fprintf(stderr, "run_suite: %s failed (exit %d)\n", spec.name,
+                   status);
+      ++failures;
+      continue;
+    }
+    try {
+      benches.set(spec.name, miro::JsonValue::parse(text));
+    } catch (const miro::Error& error) {
+      std::fprintf(stderr, "run_suite: %s wrote invalid JSON: %s\n",
+                   spec.name, error.what());
+      ++failures;
+    }
+  }
+
+  miro::JsonValue config = miro::JsonValue::make_object();
+  config.set("scale", miro::JsonValue::make_number(args.scale));
+  config.set("dests",
+             miro::JsonValue::make_number(static_cast<double>(args.dests)));
+  config.set("sources",
+             miro::JsonValue::make_number(static_cast<double>(args.sources)));
+  config.set("seed",
+             miro::JsonValue::make_number(static_cast<double>(args.seed)));
+  config.set("profile", miro::JsonValue::make_string(
+                            args.profile.empty() ? "all" : args.profile));
+
+  miro::JsonValue doc = miro::JsonValue::make_object();
+  doc.set("suite", miro::JsonValue::make_string("miro-bench"));
+  doc.set("schema", miro::JsonValue::make_number(1));
+  doc.set("config", std::move(config));
+  doc.set("benches", std::move(benches));
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::fprintf(stderr, "run_suite: cannot write %s\n", args.out.c_str());
+    return 2;
+  }
+  out << doc.dump() << "\n";
+  std::printf("\nrun_suite: merged %zu bench snapshot(s) into %s (%zu "
+              "failed)\n",
+              doc.at("benches").size(), args.out.c_str(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 //   Agarwal 2004: 16921 / 38282 / 34552 / 3553 / 177
 // The synthetic profiles reproduce the edge-per-node density and the
 // relationship mix at the requested scale.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -16,8 +17,18 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
+  const auto start = std::chrono::steady_clock::now();
   miro::eval::print_dataset_table(args.profiles, args.scale, std::cout);
-  return 0;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  json.add("dataset_table.elapsed", static_cast<double>(elapsed.count()),
+           "ms");
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -18,6 +18,10 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
@@ -26,8 +30,17 @@ int main(int argc, char** argv) {
         std::chrono::steady_clock::now() - start);
     miro::eval::print_table_5_2(result, std::cout);
     std::cout << "(computed in " << elapsed.count() << " ms)\n\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
+    json.add(profile + ".single_rate", result.single_rate, "fraction");
+    json.add(profile + ".source_rate", result.source_rate, "fraction");
+    for (int p = 0; p < 3; ++p) {
+      json.add(profile + ".multi_rate." + std::to_string(p),
+               result.multi_rate[p], "fraction");
+    }
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -6,6 +6,7 @@
 // candidate paths (Gao 2005: strict 2.80 ASes / 36.6 paths vs flexible
 // 2.38 ASes / 139.0 paths); later-year topologies yield more paths per
 // tuple.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -15,13 +16,29 @@
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
   for (const std::string& profile : args.profiles) {
+    const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
     const auto result = miro::eval::run_avoid_as(plan);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
     miro::eval::print_table_5_3(result, std::cout);
     std::cout << "\n";
+    json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
+             "ms");
+    for (const auto& row : result.state_rows) {
+      const std::string key =
+          profile + "." + miro::core::to_string(row.policy);
+      json.add(key + ".success_rate", row.success_rate, "fraction");
+      json.add(key + ".avg_ases_contacted", row.avg_ases_contacted, "count");
+    }
   }
-  return 0;
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -4,10 +4,15 @@
 // establishment rate, retransmissions, suppressed duplicates, failovers.
 //
 //   ./chaos_sweep [negotiations] [seed] [--metrics-json <path>]
+//                 [--chrome-trace <path>]
 //
 // With --metrics-json the final (worst drop rate) run's metrics registry —
 // agent counters, bus delivery accounting — is written as a JSON snapshot,
-// suitable for a CI artifact. Every run is deterministic for a given seed.
+// suitable for a CI artifact. With --chrome-trace the final run is executed
+// with both observability planes on — the sim-time TraceRecorder and the
+// wall-clock span profiler — and merged into one Chrome trace-event file
+// (load it in chrome://tracing or https://ui.perfetto.dev). Every run is
+// deterministic for a given seed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +24,10 @@
 #include "core/protocol.hpp"
 #include "core/route_store.hpp"
 #include "netsim/fault_injection.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "topology/as_graph.hpp"
 
 namespace {
@@ -60,7 +68,8 @@ struct SweepRow {
 };
 
 SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
-                 miro::obs::MetricsRegistry* metrics = nullptr) {
+                 miro::obs::MetricsRegistry* metrics = nullptr,
+                 miro::obs::TraceRecorder* trace = nullptr) {
   using namespace miro;
   Figure31 fig;
   core::RouteStore store(fig.graph);
@@ -74,6 +83,12 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
   ss.rng_seed = seed;
   core::MiroAgent requester(fig.a, store, bus, {}, ss);
   core::MiroAgent responder(fig.b, store, bus, {}, ss);
+  if (trace != nullptr) {
+    scheduler.set_trace(trace);
+    bus.set_trace(trace);
+    requester.set_trace(trace);
+    responder.set_trace(trace);
+  }
 
   SweepRow row;
   row.drop = drop;
@@ -115,10 +130,13 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   std::string metrics_path;
+  std::string chrome_trace_path;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_trace_path = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -139,13 +157,22 @@ int main(int argc, char** argv) {
               "estab", "aband", "retx", "dups", "fover", "msgsent",
               "msgdrop", "rate%");
   miro::obs::MetricsRegistry metrics;
+  miro::obs::TraceRecorder recorder;
+  miro::obs::MemorySink sink;  // full history even past ring wraparound
+  recorder.add_sink(&sink);
+  miro::obs::ProfileRegistry profiler;
   const std::vector<double> drops{0.0, 0.05, 0.10, 0.15, 0.20, 0.30};
   for (double drop : drops) {
-    // Only the final (worst) run's registry is kept for the snapshot.
+    // Only the final (worst) run is observed: its registry feeds the metrics
+    // snapshot and its trace/profiler planes feed the Chrome trace.
     const bool last = drop == drops.back();
+    const bool trace_this = last && !chrome_trace_path.empty();
+    if (trace_this) miro::obs::set_profile(&profiler);
     const SweepRow row = run_one(drop, negotiations, seed,
                                  last && !metrics_path.empty() ? &metrics
-                                                               : nullptr);
+                                                               : nullptr,
+                                 trace_this ? &recorder : nullptr);
+    if (trace_this) miro::obs::set_profile(nullptr);
     std::printf(
         "%6.0f %6zu %6zu %6zu %7zu %6zu %6zu %8llu %8llu %6.1f\n",
         drop * 100, row.initiated, row.established, row.abandoned,
@@ -163,6 +190,18 @@ int main(int argc, char** argv) {
     out << "\n";
     std::printf("Metrics snapshot (drop=%.0f%%) written to %s\n",
                 drops.back() * 100, metrics_path.c_str());
+  }
+  if (!chrome_trace_path.empty()) {
+    if (!miro::obs::write_chrome_trace_file(chrome_trace_path, &profiler,
+                                            sink.events(), {})) {
+      std::fprintf(stderr, "chaos_sweep: cannot write %s\n",
+                   chrome_trace_path.c_str());
+      return 1;
+    }
+    std::printf("Chrome trace (drop=%.0f%%: %zu sim events, %zu wall spans)"
+                " written to %s -- open in chrome://tracing or Perfetto\n",
+                drops.back() * 100, sink.events().size(),
+                profiler.spans().size(), chrome_trace_path.c_str());
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::bgp {
 
@@ -81,6 +82,7 @@ bool PathVectorEngine::activate(NodeId node) {
 
 std::optional<std::size_t> PathVectorEngine::run_to_stable(
     std::size_t max_sweeps) {
+  obs::ScopedSpan span(obs::profile(), "bgp/run_to_stable", "bgp");
   std::size_t activations = 0;
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
     bool any_change = false;
@@ -113,6 +115,7 @@ bool PathVectorEngine::step_synchronous() {
 
 std::optional<std::size_t> PathVectorEngine::run_random(
     Rng& rng, std::size_t max_activations) {
+  obs::ScopedSpan span(obs::profile(), "bgp/run_random", "bgp");
   const std::size_t n = graph_->node_count();
   std::size_t quiet_streak = 0;
   for (std::size_t step = 0; step < max_activations; ++step) {

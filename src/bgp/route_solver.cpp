@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::bgp {
 
@@ -71,6 +72,7 @@ struct QueueItem {
 
 RoutingTree StableRouteSolver::run(NodeId destination, const PinnedRoute* pin,
                                    const OriginPrepend* prepend) const {
+  obs::ScopedSpan span(obs::profile(), "bgp/solve_tree", "bgp");
   const AsGraph& graph = *graph_;
   require(destination < graph.node_count(),
           "StableRouteSolver: destination out of range");

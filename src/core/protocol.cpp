@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::core {
 
@@ -216,6 +217,7 @@ std::uint64_t MiroAgent::request(NodeId responder, NodeId arrival_neighbor,
                                  std::optional<int> max_cost,
                                  CompletionCallback on_complete) {
   require(static_cast<bool>(on_complete), "MiroAgent::request: null callback");
+  obs::ScopedSpan span(obs::profile(), "protocol/request", "core");
   const std::uint64_t id = next_negotiation_id_++;
   PendingRequest& p =
       pending_
@@ -261,6 +263,7 @@ void MiroAgent::on_message(sim::EndpointId from, const Message& message) {
 }
 
 void MiroAgent::handle(NodeId from, const RouteRequest& request) {
+  obs::ScopedSpan span(obs::profile(), "protocol/handle_request", "core");
   ++stats_.requests_received;
   // Admission control: trust predicate and tunnel-count limit
   // ("accept negotiation from any when tunnel_number < 1000").
@@ -304,6 +307,7 @@ void MiroAgent::handle(NodeId from, const RouteRequest& request) {
 }
 
 void MiroAgent::handle(NodeId from, const RouteOffers& offers) {
+  obs::ScopedSpan span(obs::profile(), "protocol/handle_offers", "core");
   auto it = pending_.find(offers.negotiation_id);
   if (it == pending_.end() || it->second.responder != from) return;
   PendingRequest& pending = it->second;

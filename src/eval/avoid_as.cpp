@@ -3,6 +3,8 @@
 #include <map>
 #include <ostream>
 
+#include "obs/profile.hpp"
+
 #include "common/table.hpp"
 #include "topology/metrics.hpp"
 
@@ -17,6 +19,7 @@ double ratio(std::size_t num, std::size_t den) {
 }  // namespace
 
 AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
+  obs::ScopedSpan span(obs::profile(), "eval/avoid_as", "eval");
   AvoidAsResult result;
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());
@@ -141,6 +144,7 @@ void print_table_5_3(const AvoidAsResult& result, std::ostream& out) {
 }
 
 DeploymentResult run_incremental_deployment(const ExperimentPlan& plan) {
+  obs::ScopedSpan span(obs::profile(), "eval/incremental_deployment", "eval");
   DeploymentResult result;
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());

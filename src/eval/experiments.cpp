@@ -4,10 +4,12 @@
 #include <deque>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::eval {
 
 ExperimentPlan::ExperimentPlan(const EvalConfig& config) : config_(config) {
+  obs::ScopedSpan span(obs::profile(), "eval/plan", "eval");
   topo::GeneratorParams params = topo::profile(config.profile, config.scale);
   graph_ = std::make_unique<AsGraph>(topo::generate(params));
   solver_ = std::make_unique<StableRouteSolver>(*graph_);

@@ -2,12 +2,15 @@
 
 #include <ostream>
 
+#include "obs/profile.hpp"
+
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
 namespace miro::eval {
 
 DiversityResult run_path_diversity(const ExperimentPlan& plan) {
+  obs::ScopedSpan span(obs::profile(), "eval/path_diversity", "eval");
   DiversityResult result;
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());

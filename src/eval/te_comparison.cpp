@@ -4,6 +4,8 @@
 #include <map>
 #include <ostream>
 
+#include "obs/profile.hpp"
+
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -28,6 +30,7 @@ std::map<NodeId, std::size_t> ingress_split(const topo::AsGraph& graph,
 
 TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
                                      const TeComparisonConfig& config) {
+  obs::ScopedSpan span(obs::profile(), "eval/te_comparison", "eval");
   TeComparisonResult result;
   result.profile = plan.config().profile;
   const topo::AsGraph& graph = plan.graph();

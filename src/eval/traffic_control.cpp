@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/profile.hpp"
+
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "topology/metrics.hpp"
@@ -44,6 +46,7 @@ TrafficView measure(const AsGraph& graph, const RoutingTree& tree) {
 
 TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
                                          const TrafficControlConfig& config) {
+  obs::ScopedSpan span(obs::profile(), "eval/traffic_control", "eval");
   TrafficControlResult result;
   result.profile = plan.config().profile;
   result.thresholds = {0.05, 0.10, 0.15, 0.25, 0.35, 0.50};

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::sim {
 
@@ -42,6 +43,7 @@ bool Scheduler::run_one() {
 }
 
 std::size_t Scheduler::run_until(Time t) {
+  obs::ScopedSpan span(obs::profile(), "netsim/run_until", "netsim");
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().time <= t) {
     if (run_one()) ++executed;
@@ -51,6 +53,7 @@ std::size_t Scheduler::run_until(Time t) {
 }
 
 std::size_t Scheduler::run_all(std::size_t max_events) {
+  obs::ScopedSpan span(obs::profile(), "netsim/run_all", "netsim");
   std::size_t executed = 0;
   while (run_one()) {
     if (++executed > max_events) {

@@ -1,0 +1,133 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "common/json.hpp"
+
+namespace miro::obs {
+
+namespace {
+
+// One comma-separated JSON array element writer.
+class EventList {
+ public:
+  explicit EventList(std::ostream& out) : out_(out) {}
+  std::ostream& next() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+void write_metadata(EventList& list, std::uint32_t pid, std::uint32_t tid,
+                    const char* kind, const std::string& name) {
+  list.next() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+              << ",\"name\":\"" << kind << "\",\"args\":{\"name\":\""
+              << json_escape(name) << "\"}}";
+}
+
+void write_spans(EventList& list, const ProfileRegistry& profile,
+                 const ChromeTraceOptions& options) {
+  write_metadata(list, options.wall_pid, 0, "process_name",
+                 "wall clock (profiler spans)");
+  // One track per nesting depth: spans at equal depth never overlap in the
+  // single-threaded simulator, so each track's B/E events pair trivially.
+  std::set<std::uint32_t> depths;
+  for (const ProfileRegistry::SpanRecord& span : profile.spans())
+    depths.insert(span.depth);
+  for (std::uint32_t depth : depths) {
+    write_metadata(list, options.wall_pid, depth, "thread_name",
+                   "depth " + std::to_string(depth));
+  }
+  // The span log is in completion order (children before parents); sort each
+  // track by begin time so B/E alternate chronologically.
+  std::vector<const ProfileRegistry::SpanRecord*> ordered;
+  ordered.reserve(profile.spans().size());
+  for (const ProfileRegistry::SpanRecord& span : profile.spans())
+    ordered.push_back(&span);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto* a, const auto* b) {
+                     if (a->begin_ns != b->begin_ns)
+                       return a->begin_ns < b->begin_ns;
+                     return a->depth < b->depth;  // parents open first
+                   });
+  for (const ProfileRegistry::SpanRecord* span : ordered) {
+    const std::string name = json_escape(span->name);
+    const std::string category =
+        json_escape(span->category[0] != '\0' ? span->category : "span");
+    list.next() << "{\"ph\":\"B\",\"pid\":" << options.wall_pid
+                << ",\"tid\":" << span->depth << ",\"ts\":"
+                << json_number(static_cast<double>(span->begin_ns) / 1000.0)
+                << ",\"name\":\"" << name << "\",\"cat\":\"" << category
+                << "\"}";
+    list.next() << "{\"ph\":\"E\",\"pid\":" << options.wall_pid
+                << ",\"tid\":" << span->depth << ",\"ts\":"
+                << json_number(static_cast<double>(span->end_ns) / 1000.0)
+                << ",\"name\":\"" << name << "\",\"cat\":\"" << category
+                << "\"}";
+  }
+}
+
+void write_sim_events(EventList& list, const std::vector<TraceEvent>& events,
+                      const ChromeTraceOptions& options) {
+  write_metadata(list, options.sim_pid, 0, "process_name",
+                 "sim time (trace events)");
+  std::set<std::uint32_t> actors;
+  for (const TraceEvent& event : events) actors.insert(event.actor);
+  for (std::uint32_t actor : actors) {
+    write_metadata(list, options.sim_pid, actor, "thread_name",
+                   "AS " + std::to_string(actor));
+  }
+  for (const TraceEvent& event : events) {
+    std::ostream& out = list.next();
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << options.sim_pid
+        << ",\"tid\":" << event.actor << ",\"ts\":"
+        << json_number(static_cast<double>(event.time) * options.sim_tick_us)
+        << ",\"name\":\"" << to_string(event.type)
+        << "\",\"cat\":\"sim\",\"args\":{\"sim_time\":" << event.time;
+    if (event.peer != 0) out << ",\"peer\":" << event.peer;
+    if (event.negotiation != 0)
+      out << ",\"negotiation\":" << event.negotiation;
+    if (event.tunnel != 0) out << ",\"tunnel\":" << event.tunnel;
+    if (event.value != 0) out << ",\"value\":" << event.value;
+    if (event.detail[0] != '\0')
+      out << ",\"detail\":\"" << json_escape(event.detail) << "\"";
+    out << "}}";
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const ProfileRegistry* profile,
+                        const std::vector<TraceEvent>& sim_events,
+                        const ChromeTraceOptions& options) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventList list(out);
+  if (profile != nullptr) write_spans(list, *profile, options);
+  if (!sim_events.empty()) write_sim_events(list, sim_events, options);
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const ProfileRegistry* profile,
+                             const std::vector<TraceEvent>& sim_events,
+                             const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "chrome_trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out, profile, sim_events, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace miro::obs

@@ -1,0 +1,46 @@
+// Chrome trace-event exporter (chrome://tracing / Perfetto JSON format).
+//
+// Merges the two halves of the observability stack into one timeline file:
+//   - ProfileRegistry wall-clock spans become "B"/"E" duration events on a
+//     dedicated "wall clock" process, one track per nesting depth — *what
+//     it cost*;
+//   - TraceRecorder sim-time events become instant events on a "sim time"
+//     process with one track per AS (tid = actor) — *what happened*.
+// The two processes carry independent clocks (nanoseconds vs sim ticks);
+// `sim_tick_us` scales ticks onto the microsecond timeline Perfetto
+// expects (the protocol code treats one tick as a millisecond, hence the
+// default of 1000).
+//
+// Output is the object form `{"traceEvents":[...]}` with process/thread
+// metadata events, so the file loads directly in Perfetto's UI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace miro::obs {
+
+struct ChromeTraceOptions {
+  double sim_tick_us = 1000.0;  ///< microseconds rendered per sim tick
+  std::uint32_t wall_pid = 1;   ///< pid of the wall-clock span process
+  std::uint32_t sim_pid = 2;    ///< pid of the sim-time event process
+};
+
+/// Writes the merged trace. Either source may be null/empty — a
+/// profiler-only or sim-only trace is still a valid file.
+void write_chrome_trace(std::ostream& out, const ProfileRegistry* profile,
+                        const std::vector<TraceEvent>& sim_events,
+                        const ChromeTraceOptions& options = {});
+
+/// File convenience wrapper; returns false (with a note on stderr) when the
+/// path cannot be opened or the stream fails.
+bool write_chrome_trace_file(const std::string& path,
+                             const ProfileRegistry* profile,
+                             const std::vector<TraceEvent>& sim_events,
+                             const ChromeTraceOptions& options = {});
+
+}  // namespace miro::obs

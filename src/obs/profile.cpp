@@ -1,0 +1,119 @@
+#include "obs/profile.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace miro::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ProfileRegistry* g_profile = nullptr;
+
+}  // namespace
+
+ProfileRegistry* profile() { return g_profile; }
+void set_profile(ProfileRegistry* registry) { g_profile = registry; }
+
+ProfileRegistry::ProfileRegistry(std::size_t max_spans)
+    : max_spans_(max_spans) {
+  require(max_spans > 0, "ProfileRegistry: max_spans must be positive");
+  origin_ns_ = steady_now_ns();
+}
+
+void ProfileRegistry::set_clock(std::function<std::uint64_t()> now_ns) {
+  require(stack_.empty(), "ProfileRegistry: cannot swap clock mid-span");
+  clock_ = std::move(now_ns);
+  origin_ns_ = clock_ ? clock_() : steady_now_ns();
+}
+
+std::uint64_t ProfileRegistry::now_ns() const {
+  const std::uint64_t absolute = clock_ ? clock_() : steady_now_ns();
+  return absolute >= origin_ns_ ? absolute - origin_ns_ : 0;
+}
+
+void ProfileRegistry::begin_span(const char* name, const char* category) {
+  stack_.push_back({name, category, now_ns(), 0});
+}
+
+void ProfileRegistry::end_span() {
+  require(!stack_.empty(), "ProfileRegistry: end_span with no open span");
+  const OpenSpan open = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t end = now_ns();
+  const std::uint64_t total = end >= open.begin_ns ? end - open.begin_ns : 0;
+  const std::uint64_t self = total >= open.child_ns ? total - open.child_ns : 0;
+  if (!stack_.empty()) stack_.back().child_ns += total;
+
+  auto bump = [&](SpanStats& stats) {
+    ++stats.count;
+    stats.total_ns += total;
+    stats.self_ns += self;
+    if (total > stats.max_ns) stats.max_ns = total;
+  };
+  bump(by_name_[open.name]);
+  bump(by_category_[open.category[0] != '\0' ? open.category : "(none)"]);
+
+  ++recorded_;
+  if (spans_.size() < max_spans_) {
+    spans_.push_back({open.name, open.category, open.begin_ns, end,
+                      static_cast<std::uint32_t>(stack_.size())});
+  } else {
+    ++dropped_;
+  }
+}
+
+void ProfileRegistry::write_text(std::ostream& out) const {
+  auto ms = [](std::uint64_t ns) {
+    return TextTable::num(static_cast<double>(ns) / 1e6);
+  };
+  TextTable table(
+      {"span", "count", "total ms", "self ms", "mean ms", "max ms"});
+  for (const auto& [name, stats] : by_name_) {
+    table.add_row({name, std::to_string(stats.count), ms(stats.total_ns),
+                   ms(stats.self_ns),
+                   ms(stats.count == 0 ? 0 : stats.total_ns / stats.count),
+                   ms(stats.max_ns)});
+  }
+  for (const auto& [category, stats] : by_category_) {
+    table.add_row({"[" + category + "]", std::to_string(stats.count),
+                   ms(stats.total_ns), ms(stats.self_ns), "", ""});
+  }
+  table.print(out);
+  if (dropped_ > 0) {
+    out << "(span log full: " << dropped_
+        << " spans aggregated but not logged)\n";
+  }
+}
+
+void ProfileRegistry::export_metrics(MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  for (const auto& [name, stats] : by_name_) {
+    const std::string base = prefix + "." + name;
+    registry.counter(base + ".count").set(stats.count);
+    registry.gauge(base + ".total_ms")
+        .set(static_cast<double>(stats.total_ns) / 1e6);
+    registry.gauge(base + ".self_ms")
+        .set(static_cast<double>(stats.self_ns) / 1e6);
+    registry.gauge(base + ".max_ms")
+        .set(static_cast<double>(stats.max_ns) / 1e6);
+  }
+}
+
+void ProfileRegistry::reset() {
+  spans_.clear();
+  by_name_.clear();
+  by_category_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace miro::obs

@@ -1,0 +1,72 @@
+// Perf-regression gate over merged bench-suite JSON snapshots.
+//
+// The unified bench driver (bench/run_suite) merges every bench's --json
+// output into one document:
+//   {"suite":"miro-bench","schema":1,"config":{...},
+//    "benches":{"<bench>":{"config":{...},
+//               "results":[{"name":...,"value":...,"unit":...},...],
+//               "profile":{...}}}}
+// This module compares such a snapshot against a checked-in baseline
+// (BENCH_PR3.json) and fails on regressions beyond a relative threshold.
+// A row's *unit* decides its direction: time units (ns/us/ms/s) regress
+// upward, rate units (anything ending in "/s") regress downward, and all
+// other rows are compared informationally only (counts and success rates
+// are deterministic reproduction outputs, not perf — they drift when
+// behaviour changes, which the report surfaces without failing the gate
+// unless `check_values` is set).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace miro::obs {
+
+struct RegressionOptions {
+  /// Relative slowdown tolerated on gated rows: fail when
+  /// worse-direction change exceeds `threshold` (0.25 = +25%).
+  double threshold = 0.25;
+  /// Ignore gated rows whose baseline magnitude is below this (relative
+  /// noise on a 0.4ms row is meaningless).
+  double min_magnitude = 1.0;
+  /// Also fail when a non-gated (unitless/count) row's value drifts.
+  bool check_values = false;
+};
+
+struct RegressionRow {
+  std::string bench;
+  std::string name;
+  std::string unit;
+  double baseline = 0;
+  double current = 0;
+  double change = 0;       ///< signed relative change, + = larger value
+  bool gated = false;      ///< unit classified as perf (time or rate)
+  bool regressed = false;  ///< beyond threshold in the worse direction
+};
+
+struct RegressionReport {
+  std::vector<RegressionRow> rows;          ///< every row seen in baseline
+  std::vector<std::string> missing_rows;    ///< "<bench>/<name>" gone from current
+  std::vector<std::string> missing_benches; ///< benches gone from current
+
+  bool ok() const { return regressions() == 0 && missing_rows.empty() &&
+                           missing_benches.empty(); }
+  std::size_t regressions() const;
+
+  /// Human-readable verdict table (regressed rows first, then the worst
+  /// movers), ending with an OK/FAIL line.
+  void write_text(std::ostream& out) const;
+};
+
+/// True when rows with this unit are gated by the threshold.
+bool is_perf_unit(const std::string& unit);
+
+/// Compares two merged suite documents (see format above). Throws
+/// miro::Error when either document is structurally malformed.
+RegressionReport compare_bench_json(const JsonValue& baseline,
+                                    const JsonValue& current,
+                                    const RegressionOptions& options = {});
+
+}  // namespace miro::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace miro::obs {
 
@@ -67,7 +68,9 @@ std::string to_json(const TraceEvent& event) {
   }
   if (event.detail[0] != '\0') {
     line += ",\"detail\":\"";
-    line += event.detail;
+    // Details are static literals without specials today, but route them
+    // through the shared escaper so a future literal cannot break the JSONL.
+    line += json_escape(event.detail);
     line += "\"";
   }
   line += "}";

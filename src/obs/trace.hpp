@@ -114,8 +114,8 @@ class CountingSink : public TraceSink {
 };
 
 /// Streams each event as one JSON object per line (JSONL) for offline
-/// analysis. All values are numeric or static literals, so lines are
-/// flushed without any escaping concerns.
+/// analysis. All values are numeric or static literals (details are run
+/// through the shared JSON escaper regardless).
 class JsonlFileSink : public TraceSink {
  public:
   explicit JsonlFileSink(const std::string& path);
@@ -154,9 +154,9 @@ class TraceRecorder {
   std::vector<TraceEvent> for_negotiation(std::uint64_t id) const;
   /// Ring events carrying this tunnel id, oldest first.
   std::vector<TraceEvent> for_tunnel(std::uint64_t id) const;
-  /// Ring events of one type, oldest first.
+  /// Number of ring events of one type.
   std::size_t count(EventType type) const;
-  /// Ring events of one type observed at one actor.
+  /// Number of ring events of one type observed at one actor.
   std::size_t count(EventType type, std::uint32_t actor) const;
 
   /// Total events ever recorded (monotonic; unaffected by ring overwrite).

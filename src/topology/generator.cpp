@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.hpp"
+
 namespace miro::topo {
 namespace {
 
@@ -43,6 +45,7 @@ std::size_t provider_count_for_stub(const GeneratorParams& params, Rng& rng) {
 }  // namespace
 
 AsGraph generate(const GeneratorParams& params) {
+  obs::ScopedSpan span(obs::profile(), "topology/generate", "topology");
   require(params.tier1_count >= 2, "generate: need at least two tier-1 ASes");
   require(params.node_count > params.tier1_count,
           "generate: node_count must exceed tier1_count");

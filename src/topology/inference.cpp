@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/hash.hpp"
+#include "obs/profile.hpp"
 
 namespace miro::topo {
 namespace {
@@ -77,6 +78,7 @@ AsGraph build_graph(
 }  // namespace
 
 AsGraph infer_gao(const std::vector<AsPath>& paths, const GaoOptions& options) {
+  obs::ScopedSpan span(obs::profile(), "topology/infer_gao", "topology");
   const auto degree = observed_degrees(paths);
 
   // transit[u][v] = evidence that u provides transit for v, split into strong
@@ -162,6 +164,7 @@ AsGraph infer_gao(const std::vector<AsPath>& paths, const GaoOptions& options) {
 
 AsGraph infer_rank(const std::vector<AsPath>& paths,
                    const RankOptions& options) {
+  obs::ScopedSpan span(obs::profile(), "topology/infer_rank", "topology");
   // Rank = how prominently an AS acts as transit: the number of distinct
   // ASes seen on paths that this AS carries as an *interior* hop. Stub ASes
   // are never interior and rank 0; the core ranks highest. This is the
