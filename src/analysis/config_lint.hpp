@@ -1,0 +1,23 @@
+// Layer 1 of the static analyzer: semantic checks over a parsed
+// policy::BgpConfig (the Chapter 6 extended route-map language).
+//
+// The parser rejects syntactically malformed statements; these checks find
+// configurations that parse but cannot mean what the operator intended:
+// references to access lists or negotiations that are never defined,
+// route-map sequences no route can ever reach, AS-path regexes whose
+// language is empty, and responder blocks that can never admit a
+// negotiation. The check-id catalog lives in DESIGN.md §9.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "policy/policy_config.hpp"
+
+namespace miro::analysis {
+
+/// Lints one parsed configuration. `file` labels the diagnostics (the
+/// config's path, or a synthetic name for in-memory configs).
+Report lint_config(const policy::BgpConfig& config, std::string_view file = "");
+
+}  // namespace miro::analysis

@@ -1,0 +1,51 @@
+// Layer 2 of the static analyzer: convergence-safety checks over an
+// instantiated (topology, policy) system — the relationship-annotated AS
+// graph, the destination prefixes, and the per-AS MIRO options (guideline
+// assignment, tunnel specifications, Guideline D's partial order).
+//
+// The checks encode Chapter 7's safety conditions so an unsafe system is
+// caught without paying the simulation cost of running it to divergence:
+//
+//   * Gao-Rexford Guideline A preconditions: the customer-provider relation
+//     must be acyclic (no AS is its own indirect provider), and tunnels that
+//     a None/strict-policy AS would re-advertise as BGP routes must not
+//     contain a valley (the route class only reflects the first link, so a
+//     valley hides from the conventional export rule).
+//   * Guideline D: the declared ≺ relation must be a genuine strict partial
+//     order — we verify irreflexivity and acyclicity (any acyclic relation
+//     extends to a strict partial order; a cycle cannot).
+//   * Guideline E: a tunnel whose carrier is another of the speaker's own
+//     tunnels can never establish under E's no-tunnel-over-tunnel rule.
+//   * Dispute wheel: a cyclic chain of tunnels that invalidate one another
+//     (the static analogue of Griffin's dispute wheel, specialised to the
+//     MIRO model) is reported with its witness — the pivot ASes and the rim
+//     paths — exactly what oscillates on the Figure 7.1 / 7.2 gadgets.
+//
+// The detector is conservative the way the chapter's theorems are: edges
+// that a guideline provably neutralises (B/C tunnels ride pure BGP routes;
+// E serialises a speaker's own tunnels; D's order gates establishment) are
+// not counted, so guideline-compliant systems lint clean while None/strict
+// gadgets produce a concrete wheel.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "convergence/model.hpp"
+#include "topology/as_graph.hpp"
+
+namespace miro::analysis {
+
+/// Lints a full MIRO system. `label` names the system in diagnostics (e.g.
+/// "fig7.1:none" or a topology file path).
+Report lint_system(const topo::AsGraph& graph,
+                   const std::vector<topo::NodeId>& destinations,
+                   const conv::ModelOptions& options,
+                   std::string_view label = "");
+
+/// Structural subset when only a topology is available (no tunnels, no
+/// guideline annotations): Guideline A's provider-cycle check.
+Report lint_topology(const topo::AsGraph& graph, std::string_view label = "");
+
+}  // namespace miro::analysis

@@ -161,6 +161,90 @@ AsPathRegex::Fragment AsPathRegex::parse_atom(std::string_view& input) {
   return {start, end};
 }
 
+bool AsPathRegex::language_empty() const {
+  // Product of the NFA with a tiny abstraction of the witness string we are
+  // free to construct: what the previously consumed character was (nothing
+  // yet / a space / a digit), whether an `$` already forbade further
+  // consumption, and whether a `_` taken mid-string still owes us a space as
+  // the very next character ("pending"). A `_` is satisfied by the start,
+  // the end, or a space on either side; when taken after a digit it defers
+  // the obligation: either the string ends right there or the next consumed
+  // character is a space.
+  enum Last : std::uint8_t { kStart, kSpace, kDigit };
+  struct Cfg {
+    std::uint32_t state;
+    Last last;
+    bool must_end;
+    bool pending_space;
+  };
+  auto pack = [](const Cfg& c) {
+    return (c.state << 4) | (static_cast<std::uint32_t>(c.last) << 2) |
+           (static_cast<std::uint32_t>(c.must_end) << 1) |
+           static_cast<std::uint32_t>(c.pending_space);
+  };
+  auto class_accepts_digit = [](const Transition& t) {
+    for (char d = '0'; d <= '9'; ++d)
+      if (t.accepts_char(d)) return true;
+    return false;
+  };
+
+  std::vector<Cfg> stack{{start_state_, kStart, false, false}};
+  std::vector<char> seen(states_.size() * 16, 0);
+  seen[pack(stack.back())] = 1;
+  while (!stack.empty()) {
+    const Cfg cfg = stack.back();
+    stack.pop_back();
+    // Reaching the accept state ends the witness string here, which also
+    // discharges a pending `_` (end-of-string is a boundary).
+    if (cfg.state == accept_state_) return false;
+    for (const Transition& t : states_[cfg.state].out) {
+      std::vector<Cfg> nexts;
+      switch (t.kind) {
+        case Transition::Kind::Epsilon:
+          nexts.push_back({t.target, cfg.last, cfg.must_end,
+                           cfg.pending_space});
+          break;
+        case Transition::Kind::StartAnchor:
+          if (cfg.last == kStart)
+            nexts.push_back({t.target, cfg.last, cfg.must_end,
+                             cfg.pending_space});
+          break;
+        case Transition::Kind::EndAnchor:
+          // Traversable at the end of the string: commit to consuming
+          // nothing further (which also satisfies any pending `_`).
+          nexts.push_back({t.target, cfg.last, true, false});
+          break;
+        case Transition::Kind::Boundary:
+          if (cfg.last != kDigit || cfg.must_end) {
+            // At the start, after a space, or pinned at the end: satisfied.
+            nexts.push_back({t.target, cfg.last, cfg.must_end,
+                             cfg.pending_space});
+          } else {
+            // After a digit: satisfiable only if the string ends here or
+            // the next consumed character is a space.
+            nexts.push_back({t.target, cfg.last, cfg.must_end, true});
+          }
+          break;
+        case Transition::Kind::CharClass:
+          if (cfg.must_end) break;  // `$` already forbade consumption
+          if (t.accepts_char(' '))
+            nexts.push_back({t.target, kSpace, false, false});
+          if (!cfg.pending_space && class_accepts_digit(t))
+            nexts.push_back({t.target, kDigit, false, false});
+          break;
+      }
+      for (const Cfg& next : nexts) {
+        const std::uint32_t key = pack(next);
+        if (!seen[key]) {
+          seen[key] = 1;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return true;  // accept state unreachable under every consistent witness
+}
+
 std::string AsPathRegex::render(const std::vector<topo::AsNumber>& as_path) {
   std::string text;
   for (std::size_t i = 0; i < as_path.size(); ++i) {

@@ -42,6 +42,15 @@ class AsPathRegex {
 
   const std::string& pattern() const { return pattern_; }
 
+  /// Emptiness analysis for the static analyzer: true when no rendered
+  /// AS path can ever match. The check runs over the alphabet the matcher
+  /// actually sees — decimal digits plus the single-space separator — so a
+  /// pattern demanding letters (`[a-z]`), or characters after `$`, or a
+  /// mid-number `_` squeezed between two mandatory digits, is reported as
+  /// unmatchable. Exact over that alphabet: assertions (`^`, `$`, `_`) are
+  /// tracked symbolically, not approximated.
+  bool language_empty() const;
+
   /// Renders an AS path the way the matcher sees it.
   static std::string render(const std::vector<topo::AsNumber>& as_path);
 

@@ -75,6 +75,7 @@ class Parser {
     const std::string_view head = words[0];
     if (head == "router") {
       if (words.size() != 3 || words[1] != "bgp") fail("expected 'router bgp <asn>'");
+      if (config_.local_as) fail("duplicate 'router bgp' statement");
       config_.local_as = parse_asn(words[2]);
       context_ = Context::None;
     } else if (head == "neighbor") {
@@ -85,16 +86,22 @@ class Parser {
       context_ = Context::RouteMap;
     } else if (head == "ip") {
       parse_access_list(words);
+      // `ip ...` is a top-level command: it closes any open block, so a
+      // following `match`/`set` cannot silently attach to a stale block.
+      context_ = Context::None;
     } else if (head == "negotiation" && words.size() >= 2 &&
                words[1] == "filter") {
+      if (words.size() != 3) fail("expected 'negotiation filter <name>'");
       ensure_responder();
       context_ = Context::Filter;
     } else if (head == "negotiation") {
       if (words.size() != 2) fail("expected 'negotiation <name>'");
       NegotiationSpec spec;
       spec.name = std::string(words[1]);
+      spec.line = static_cast<int>(line_number_);
       current_negotiation_ = spec.name;
-      config_.negotiations.emplace(spec.name, std::move(spec));
+      if (!config_.negotiations.emplace(spec.name, std::move(spec)).second)
+        fail("duplicate negotiation block '" + current_negotiation_ + "'");
       context_ = Context::Negotiation;
     } else if (head == "accept") {
       parse_accept(words);
@@ -108,6 +115,8 @@ class Parser {
           words[1] != "negotiation")
         fail("'try negotiation <name>' only valid inside a route-map");
       config_.route_maps.back().try_negotiation = std::string(words[2]);
+      config_.route_maps.back().try_negotiation_line =
+          static_cast<int>(line_number_);
     } else if (head == "start") {
       parse_start(words);
     } else if (head == "when") {
@@ -127,17 +136,21 @@ class Parser {
     for (NeighborBinding& existing : config_.neighbors)
       if (existing.address == *address) binding = &existing;
     if (binding == nullptr) {
-      config_.neighbors.push_back(NeighborBinding{*address, {}, {}, {}});
+      config_.neighbors.push_back(NeighborBinding{});
+      config_.neighbors.back().address = *address;
       binding = &config_.neighbors.back();
     }
     if (words[2] == "remote-as") {
+      if (words.size() != 4) fail("expected 'remote-as <asn>'");
       binding->remote_as = parse_asn(words[3]);
     } else if (words[2] == "route-map") {
       if (words.size() != 5) fail("expected 'route-map <name> in|out'");
       if (words[4] == "in") {
         binding->route_map_in = std::string(words[3]);
+        binding->route_map_in_line = static_cast<int>(line_number_);
       } else if (words[4] == "out") {
         binding->route_map_out = std::string(words[3]);
+        binding->route_map_out_line = static_cast<int>(line_number_);
       } else {
         fail("route-map direction must be 'in' or 'out'");
       }
@@ -147,9 +160,11 @@ class Parser {
   }
 
   void parse_route_map_header(const std::vector<std::string_view>& words) {
-    if (words.size() < 3) fail("truncated route-map header");
+    if (words.size() < 3 || words.size() > 4)
+      fail("expected 'route-map <name> permit|deny [<sequence>]'");
     RouteMapClause clause;
     clause.name = std::string(words[1]);
+    clause.line = static_cast<int>(line_number_);
     if (words[2] == "permit") {
       clause.permit = true;
     } else if (words[2] == "deny") {
@@ -165,7 +180,7 @@ class Parser {
 
   void parse_access_list(const std::vector<std::string_view>& words) {
     // ip as-path access-list <id> permit|deny <regex>
-    if (words.size() < 6 || words[1] != "as-path" || words[2] != "access-list")
+    if (words.size() != 6 || words[1] != "as-path" || words[2] != "access-list")
       fail("expected 'ip as-path access-list <id> permit|deny <regex>'");
     const int id = parse_int(words[3]);
     bool permit;
@@ -178,8 +193,8 @@ class Parser {
     }
     auto [it, inserted] = config_.access_lists.try_emplace(id);
     it->second.id = id;
-    it->second.entries.push_back(
-        AsPathAccessList::Entry{permit, AsPathRegex(words[5])});
+    it->second.entries.push_back(AsPathAccessList::Entry{
+        permit, AsPathRegex(words[5]), static_cast<int>(line_number_)});
   }
 
   void parse_match(const std::vector<std::string_view>& words) {
@@ -187,9 +202,11 @@ class Parser {
       RouteMapClause& clause = config_.route_maps.back();
       if (words.size() == 3 && words[1] == "as-path") {
         clause.match_as_path_acl = parse_int(words[2]);
+        clause.match_as_path_line = static_cast<int>(line_number_);
       } else if (words.size() == 4 && words[1] == "empty" &&
                  words[2] == "path") {
         clause.match_empty_path_acl = parse_int(words[3]);
+        clause.match_empty_path_line = static_cast<int>(line_number_);
       } else {
         fail("unsupported match inside route-map");
       }
@@ -197,8 +214,9 @@ class Parser {
       // match all path <regex>
       if (words.size() != 4 || words[1] != "all" || words[2] != "path")
         fail("expected 'match all path <regex>'");
-      config_.negotiations.at(current_negotiation_).target_path_regex =
-          AsPathRegex(words[3]);
+      NegotiationSpec& spec = config_.negotiations.at(current_negotiation_);
+      spec.target_path_regex = AsPathRegex(words[3]);
+      spec.target_path_line = static_cast<int>(line_number_);
     } else {
       fail("'match' outside a route-map or negotiation block");
     }
@@ -257,8 +275,10 @@ class Parser {
       fail("'when' outside an accept-negotiation block");
     if (words.size() != 4 || words[1] != "tunnel_number" || words[2] != "<")
       fail("expected 'when tunnel_number < <n>'");
-    config_.responder->max_tunnels =
-        static_cast<std::size_t>(parse_int(words[3]));
+    const int bound = parse_int(words[3]);
+    if (bound < 0) fail("tunnel_number bound must be non-negative");
+    config_.responder->max_tunnels = static_cast<std::size_t>(bound);
+    config_.responder->when_line = static_cast<int>(line_number_);
   }
 
   void parse_filter(const std::vector<std::string_view>& words) {
@@ -268,8 +288,8 @@ class Parser {
     if (words.size() != 5 || words[1] != "permit" ||
         words[2] != "local_pref" || words[3] != ">")
       fail("expected 'filter permit local_pref > <n>'");
-    config_.responder->filters.push_back(
-        ResponderSpec::Filter{parse_int(words[4]), 0});
+    config_.responder->filters.push_back(ResponderSpec::Filter{
+        parse_int(words[4]), 0, static_cast<int>(line_number_)});
     filter_has_cost_ = false;
   }
 

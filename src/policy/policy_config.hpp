@@ -43,6 +43,7 @@ struct AsPathAccessList {
   struct Entry {
     bool permit = true;
     AsPathRegex regex;
+    int line = 0;  ///< 1-based source line of the access-list statement
   };
   int id = 0;
   std::vector<Entry> entries;
@@ -51,6 +52,8 @@ struct AsPathAccessList {
 };
 
 /// One `route-map <name> permit|deny <seq>` clause with its match/set lines.
+/// `*_line` members record the 1-based source line of the statement that set
+/// the field (0 = absent) so the static analyzer can point at it.
 struct RouteMapClause {
   std::string name;
   bool permit = true;
@@ -59,6 +62,10 @@ struct RouteMapClause {
   std::optional<int> match_empty_path_acl;  ///< negotiation trigger condition
   std::optional<int> set_local_pref;
   std::optional<std::string> try_negotiation;
+  int line = 0;  ///< clause header line
+  int match_as_path_line = 0;
+  int match_empty_path_line = 0;
+  int try_negotiation_line = 0;
 };
 
 /// `negotiation <name>` block (requester side).
@@ -66,6 +73,8 @@ struct NegotiationSpec {
   std::string name;
   std::optional<AsPathRegex> target_path_regex;  ///< `match all path <re>`
   std::optional<int> max_cost;                   ///< maximum price to pay
+  int line = 0;  ///< block header line
+  int target_path_line = 0;
 };
 
 /// `accept negotiation` + `negotiation filter` blocks (responder side).
@@ -73,9 +82,11 @@ struct ResponderSpec {
   bool accept_any = true;
   std::vector<topo::AsNumber> accept_asns;
   std::optional<std::size_t> max_tunnels;  ///< `when tunnel_number < N`
+  int when_line = 0;
   struct Filter {
     int local_pref_greater = 0;
     int tunnel_cost = 0;
+    int line = 0;
   };
   /// Ordered; the first filter whose threshold the route's local preference
   /// exceeds sets the price ("sell all customer routes for a lower price").
@@ -87,6 +98,8 @@ struct NeighborBinding {
   std::optional<topo::AsNumber> remote_as;
   std::optional<std::string> route_map_in;
   std::optional<std::string> route_map_out;
+  int route_map_in_line = 0;
+  int route_map_out_line = 0;
 };
 
 struct BgpConfig {

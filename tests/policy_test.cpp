@@ -303,6 +303,171 @@ TEST(PolicyConfig, RandomGarbageNeverCrashes) {
   }
 }
 
+TEST(AsPathRegex, NestedAlternation) {
+  AsPathRegex regex("^(1(2|3)|4(5|(6|7)))$");
+  EXPECT_TRUE(regex.matches_text("12"));
+  EXPECT_TRUE(regex.matches_text("13"));
+  EXPECT_TRUE(regex.matches_text("45"));
+  EXPECT_TRUE(regex.matches_text("46"));
+  EXPECT_TRUE(regex.matches_text("47"));
+  EXPECT_FALSE(regex.matches_text("14"));
+  EXPECT_FALSE(regex.matches_text("4"));
+  EXPECT_FALSE(regex.matches_text("123"));
+}
+
+TEST(AsPathRegex, NegatedClasses) {
+  AsPathRegex not_zero("^[^0]$");
+  EXPECT_TRUE(not_zero.matches_text("5"));
+  EXPECT_FALSE(not_zero.matches_text("0"));
+  // A negated class consumes exactly one character; it cannot match nothing.
+  EXPECT_FALSE(not_zero.matches_text(""));
+  AsPathRegex interior("^1[^ ]1$");
+  EXPECT_TRUE(interior.matches_text("121"));
+  EXPECT_FALSE(interior.matches_text("1 1"));
+  // Negation of a range.
+  AsPathRegex high("^[^0-4]+$");
+  EXPECT_TRUE(high.matches_text("789"));
+  EXPECT_FALSE(high.matches_text("782"));
+}
+
+TEST(AsPathRegex, BoundaryAtStringEdges) {
+  // `_` is satisfied by the start and the end of the rendered path, not
+  // only by interior spaces.
+  AsPathRegex leading("_312");
+  EXPECT_TRUE(leading.matches({312}));
+  EXPECT_TRUE(leading.matches({100, 312}));
+  EXPECT_FALSE(leading.matches({1312}));
+  AsPathRegex trailing("312_");
+  EXPECT_TRUE(trailing.matches({312}));
+  EXPECT_TRUE(trailing.matches({312, 100}));
+  EXPECT_FALSE(trailing.matches({3120}));
+  AsPathRegex both("_312_");
+  EXPECT_TRUE(both.matches({312}));
+  // Doubled boundaries collapse: both are satisfied at the same position.
+  AsPathRegex doubled("__312__");
+  EXPECT_TRUE(doubled.matches({312}));
+  EXPECT_TRUE(doubled.matches({100, 312, 200}));
+  EXPECT_FALSE(doubled.matches({3120}));
+}
+
+TEST(AsPathRegex, PathologicalRepetitionStaysLinear) {
+  // (a*)*-style patterns explode backtracking matchers; the Thompson NFA
+  // simulation stays linear in the input, so these complete instantly.
+  AsPathRegex nested("^(((0*)*)*)*$");
+  std::string zeros(5000, '0');
+  EXPECT_TRUE(nested.matches_text(zeros));
+  EXPECT_FALSE(nested.matches_text(zeros + "1"));
+  AsPathRegex ambiguous("^(0|00)+$");
+  EXPECT_TRUE(ambiguous.matches_text(std::string(4999, '0')));
+  EXPECT_FALSE(ambiguous.matches_text(std::string(2500, '0') + "1" +
+                                      std::string(2499, '0')));
+}
+
+// ------------------------------------------------- language emptiness
+
+TEST(AsPathRegexEmptiness, SatisfiablePatternsAreNotEmpty) {
+  for (const char* pattern :
+       {"_7007_", ".*", "^$", "^100_", "(1|2)*", "_(10|20) 30_", "$",
+        "__", "^_1", "[^0-9 ]*", "1_2*"}) {
+    EXPECT_FALSE(AsPathRegex(pattern).language_empty()) << pattern;
+  }
+}
+
+TEST(AsPathRegexEmptiness, ContradictoryPatternsAreEmpty) {
+  for (const char* pattern :
+       {"^65010$5",   // `$` pins the end but a digit must follow
+        "5^",         // `^` after consuming a character
+        "$5",         // same for `$` standalone
+        "1_2",        // boundary between two digits with no space
+        "[^0-9 ]",    // class excludes every rendered character
+        "[a-z]",      // letters never appear in a rendered AS path
+        "(1|2)$3"}) {  // anchored alternation followed by more input
+    EXPECT_TRUE(AsPathRegex(pattern).language_empty()) << pattern;
+  }
+}
+
+TEST(AsPathRegexEmptiness, EndAnchorThenBoundaryIsSatisfiable) {
+  // `$` then `_`: end-of-string is itself a boundary, so `100$_` matches
+  // any path ending in 100 — not an empty language.
+  AsPathRegex regex("100$_");
+  EXPECT_FALSE(regex.language_empty());
+  EXPECT_TRUE(regex.matches({100}));
+}
+
+TEST(AsPathRegexEmptiness, EmptyVerdictAgreesWithMatching) {
+  // Property check: whenever the analysis says the language is empty, no
+  // sample path may match (the converse needs a witness generator).
+  Rng rng(0x51ac);
+  const char alphabet[] = "0123456789 ()|*+?.[]^$_";
+  const std::vector<std::vector<topo::AsNumber>> samples = {
+      {},       {0},         {1},          {7007},       {65010},
+      {10, 20}, {1, 2, 3},   {100, 7007},  {7007, 100},  {65010, 5},
+      {5},      {10, 20, 30}};
+  int compiled = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string pattern;
+    const std::size_t len = rng.next_below(10);
+    for (std::size_t i = 0; i < len; ++i)
+      pattern += alphabet[rng.next_below(sizeof alphabet - 1)];
+    try {
+      AsPathRegex regex(pattern);
+      ++compiled;
+      if (!regex.language_empty()) continue;
+      for (const auto& path : samples)
+        EXPECT_FALSE(regex.matches(path))
+            << "'" << pattern << "' declared empty yet matched a path";
+    } catch (const Error&) {
+      // malformed pattern: nothing to check
+    }
+  }
+  EXPECT_GT(compiled, 100);  // the fuzz actually exercised the analysis
+}
+
+// ------------------------------------------- parser strictness audit
+
+TEST(PolicyConfig, TopLevelCommandClosesOpenBlock) {
+  // The `ip` statement closes the route-map block, so the trailing `match`
+  // attaches to nothing and must be rejected instead of silently landing on
+  // the previous clause.
+  EXPECT_THROW(parse_config("route-map m permit 10\n"
+                            "ip as-path access-list 1 permit .*\n"
+                            "match as-path 1\n"),
+               Error);
+}
+
+TEST(PolicyConfig, DuplicateBlocksAreRejected) {
+  EXPECT_THROW(parse_config("router bgp 1\nrouter bgp 2\n"), Error);
+  EXPECT_THROW(parse_config("negotiation n\nnegotiation n\n"), Error);
+}
+
+TEST(PolicyConfig, TrailingTokensAreRejected) {
+  EXPECT_THROW(parse_config("router bgp 1 2\n"), Error);
+  EXPECT_THROW(
+      parse_config("neighbor 10.0.0.1 remote-as 5 junk\n"), Error);
+  EXPECT_THROW(
+      parse_config("ip as-path access-list 1 permit .* junk\n"), Error);
+  EXPECT_THROW(parse_config("route-map m permit 10 junk\n"), Error);
+  EXPECT_THROW(parse_config("negotiation filter a b\n"), Error);
+}
+
+TEST(PolicyConfig, NegativeTunnelBoundIsRejected) {
+  EXPECT_THROW(parse_config("accept negotiation from any\n"
+                            "when tunnel_number < -1\n"),
+               Error);
+}
+
+TEST(PolicyConfig, RecordsSourceLines) {
+  const BgpConfig config = parse_config("router bgp 1\n"
+                                        "ip as-path access-list 1 permit .*\n"
+                                        "route-map m permit 10\n"
+                                        "match as-path 1\n");
+  ASSERT_EQ(config.route_maps.size(), 1u);
+  EXPECT_EQ(config.route_maps[0].line, 3);
+  EXPECT_EQ(config.route_maps[0].match_as_path_line, 4);
+  ASSERT_EQ(config.access_lists.at(1).entries.size(), 1u);
+  EXPECT_EQ(config.access_lists.at(1).entries[0].line, 2);
+}
+
 TEST(AsPathRegexFuzz, RandomPatternsNeverCrash) {
   Rng rng(0xbeef);
   const char alphabet[] = "0123456789 ()|*+?.[]^$_\\";
