@@ -6,11 +6,16 @@
 //   --dests <n>        sampled destinations (default 80)
 //   --sources <n>      sampled sources per destination (default 40)
 //   --seed <n>         sampling seed (default 42)
+//   --threads <n>      eval worker threads (default: MIRO_THREADS env,
+//                      else hardware concurrency; 1 = fully serial)
 //   --json <path>      also write results as machine-readable JSON
 // so the paper tables regenerate quickly by default and at full scale on
 // request. The JSON snapshot carries each result as {name, value, unit}
 // plus the simulation config that produced it, for regression tracking
-// across runs / CI artifacts.
+// across runs / CI artifacts. The thread count is deliberately NOT part of
+// the JSON config: results are bit-identical at any thread count (the
+// determinism contract tests/parallel_test.cpp enforces), so snapshots from
+// different --threads runs must stay byte-comparable.
 #pragma once
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "eval/experiments.hpp"
 #include "obs/profile.hpp"
 
@@ -135,6 +141,26 @@ inline std::string take_json_flag(int& argc, char** argv) {
   return path;
 }
 
+/// Pulls `--threads <n>` out of argv (compacting it) and applies it via
+/// par::set_thread_count. Companion to take_json_flag for benches whose
+/// remaining flags are parsed by another layer.
+inline void take_threads_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for --threads\n", argv[0]);
+        std::exit(2);
+      }
+      par::set_thread_count(
+          static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
 struct BenchArgs {
   std::vector<std::string> profiles{"gao2000", "gao2003", "gao2005",
                                     "agarwal2004"};
@@ -167,12 +193,14 @@ struct BenchArgs {
             static_cast<std::size_t>(std::atoll(value()));
       } else if (flag == "--seed") {
         args.config.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      } else if (flag == "--threads") {
+        par::set_thread_count(static_cast<std::size_t>(std::atoll(value())));
       } else if (flag == "--json") {
         args.json_path = value();
       } else {
         std::fprintf(stderr,
                      "usage: %s [--profile NAME] [--scale X] [--dests N] "
-                     "[--sources N] [--seed N] [--json PATH]\n",
+                     "[--sources N] [--seed N] [--threads N] [--json PATH]\n",
                      argv[0]);
         std::exit(2);
       }

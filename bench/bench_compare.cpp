@@ -1,12 +1,14 @@
 // Perf-regression gate CLI around obs::compare_bench_json.
 //
 //   ./bench_compare baseline.json current.json [--threshold 0.25]
-//                   [--min-magnitude X] [--check-values]
+//                   [--min-magnitude X] [--check-values] [--values-only]
 //
 // Exit 0 when the gate passes, 1 on any regression / missing row, 2 on
 // bad usage or unreadable input. CI runs this against the checked-in
 // BENCH_PR3.json baseline; a >threshold slowdown on any gated (perf-unit)
-// row fails the build.
+// row fails the build. --values-only is the determinism gate: it ignores
+// wall-clock rows and requires every other row to match exactly — used to
+// compare a --threads 4 suite run against the --threads 1 run.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,7 +25,8 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: bench_compare BASELINE.json CURRENT.json "
-               "[--threshold X] [--min-magnitude X] [--check-values]\n");
+               "[--threshold X] [--min-magnitude X] [--check-values] "
+               "[--values-only]\n");
   std::exit(2);
 }
 
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     else if (flag == "--min-magnitude")
       options.min_magnitude = std::atof(value());
     else if (flag == "--check-values") options.check_values = true;
+    else if (flag == "--values-only") options.values_only = true;
     else if (!flag.empty() && flag[0] == '-') usage();
     else if (baseline_path.empty()) baseline_path = flag;
     else if (current_path.empty()) current_path = flag;

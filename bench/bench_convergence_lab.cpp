@@ -30,6 +30,7 @@ const char* verdict(const conv::MiroConvergenceModel::RunResult& result) {
 
 int main(int argc, char** argv) {
   try {
+  bench::take_threads_flag(argc, argv);  // accepted for suite uniformity
   bench::BenchJsonWriter json(bench::take_json_flag(argc, argv));
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);

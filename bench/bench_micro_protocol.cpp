@@ -194,6 +194,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   using miro::bench::BenchJsonWriter;
+  miro::bench::take_threads_flag(argc, argv);
   BenchJsonWriter json(miro::bench::take_json_flag(argc, argv));
   json.set_config("suite", "bench_micro_protocol");
   json.set_config("topology", "gao2005 scale 0.25");

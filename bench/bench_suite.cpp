@@ -6,13 +6,17 @@
 //   {"suite":"miro-bench","schema":1,"config":{...},"benches":{...}}
 //
 //   ./run_suite [--out PATH] [--bin-dir DIR] [--scale X] [--dests N]
-//               [--sources N] [--seed N] [--profile NAME] [--skip NAME]...
-//               [--quick]
+//               [--sources N] [--seed N] [--threads N] [--profile NAME]
+//               [--skip NAME]... [--quick]
 //
 // --quick shrinks every knob for CI (one profile, small samples) so the
 // gate measures relative shape, not absolute scale. Bench stdout goes to
 // the console (it is the human-readable reproduction); only the JSON
-// snapshots are merged.
+// snapshots are merged. --threads forwards to every bench (default: the
+// benches resolve MIRO_THREADS / hardware concurrency themselves); it is
+// excluded from the merged config section because result rows are
+// bit-identical at any thread count and snapshots must stay comparable
+// across thread counts.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -56,14 +60,15 @@ struct SuiteArgs {
   std::size_t dests = 20;
   std::size_t sources = 10;
   std::uint64_t seed = 42;
+  long threads = 0;  // 0 = let each bench resolve MIRO_THREADS / hardware
   std::set<std::string> skip;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out PATH] [--bin-dir DIR] [--scale X] "
-               "[--dests N] [--sources N] [--seed N] [--profile NAME] "
-               "[--skip NAME]... [--quick]\n",
+               "[--dests N] [--sources N] [--seed N] [--threads N] "
+               "[--profile NAME] [--skip NAME]... [--quick]\n",
                argv0);
   std::exit(2);
 }
@@ -92,6 +97,7 @@ SuiteArgs parse(int argc, char** argv) {
       args.sources = static_cast<std::size_t>(std::atoll(value()));
     else if (flag == "--seed")
       args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (flag == "--threads") args.threads = std::atol(value());
     else if (flag == "--profile") args.profile = value();
     else if (flag == "--skip") args.skip.insert(value());
     else if (flag == "--quick") {
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
       command += " --seed " + std::to_string(args.seed);
       if (!args.profile.empty()) command += " --profile " + args.profile;
     }
+    if (args.threads > 0)
+      command += " --threads " + std::to_string(args.threads);
     command += " --json " + snapshot_path;
     std::printf("== %s\n", spec.name);
     std::fflush(stdout);

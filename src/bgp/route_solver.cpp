@@ -34,8 +34,11 @@ NodeId RoutingTree::ingress_neighbor(NodeId node) const {
   if (!entries_[node].reachable || node == destination_)
     return topo::kInvalidNode;
   NodeId current = node;
-  while (entries_[current].next_hop != destination_)
+  std::size_t steps = 0;
+  while (entries_[current].next_hop != destination_) {
     current = entries_[current].next_hop;
+    require(++steps <= entries_.size(), "RoutingTree: next-hop loop");
+  }
   return current;
 }
 

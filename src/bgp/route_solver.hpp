@@ -45,6 +45,8 @@ class RoutingTree {
 
  private:
   friend class StableRouteSolver;
+  /// Tests only: corrupts entries to exercise the bounded-walk guards.
+  friend struct RoutingTreeTestAccess;
   struct Entry {
     NodeId next_hop = topo::kInvalidNode;
     std::uint32_t length = 0;

@@ -1,0 +1,189 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace miro::par {
+namespace {
+
+/// True on a thread currently executing a chunk body — nested parallel_for
+/// calls from inside a chunk run inline instead of re-entering the pool.
+thread_local bool t_in_chunk = false;
+
+std::size_t resolve_auto_count() {
+  if (const char* env = std::getenv("MIRO_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::atomic<std::size_t> g_thread_count{0};  // 0 = auto
+WorkerContext* g_worker_context = nullptr;
+
+/// Lazily-started grow-only pool. Threads outlive every region; regions
+/// only submit work and wait, so growing is the single mutation and it
+/// happens under the queue lock before any chunk of the region runs.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void ensure_threads(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (threads_.size() < count)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t threads_running() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_.size();
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Join-side state of one region: chunks remaining plus per-chunk errors.
+struct RegionState {
+  explicit RegionState(std::size_t chunks)
+      : remaining(chunks), errors(chunks) {}
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining;
+  std::vector<std::exception_ptr> errors;
+};
+
+}  // namespace
+
+void set_worker_context(WorkerContext* context) {
+  g_worker_context = context;
+}
+
+WorkerContext* worker_context() { return g_worker_context; }
+
+void set_thread_count(std::size_t count) { g_thread_count.store(count); }
+
+std::size_t thread_count() {
+  const std::size_t overridden = g_thread_count.load();
+  if (overridden != 0) return overridden;
+  static const std::size_t auto_count = resolve_auto_count();
+  return auto_count;
+}
+
+std::size_t pool_threads_running() {
+  return ThreadPool::instance().threads_running();
+}
+
+std::size_t chunk_count(std::size_t count) {
+  if (count == 0) return 0;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || count == 1) return 1;
+  return std::min(threads, count);
+}
+
+void parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  require(static_cast<bool>(body), "parallel_for: empty body");
+  if (count == 0) return;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || count == 1 || t_in_chunk) {
+    body(0, count, 0);
+    return;
+  }
+
+  const std::size_t chunks = std::min(threads, count);
+  const std::size_t base = count / chunks;
+  const std::size_t remainder = count % chunks;
+
+  WorkerContext* context = g_worker_context;
+  if (context != nullptr) context->region_begin(chunks);
+
+  ThreadPool& pool = ThreadPool::instance();
+  pool.ensure_threads(threads);
+  RegionState state(chunks);
+
+  std::size_t begin = 0;
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t size = base + (chunk < remainder ? 1 : 0);
+    const std::size_t end = begin + size;
+    pool.submit([&state, &body, context, begin, end, chunk] {
+      t_in_chunk = true;
+      if (context != nullptr) context->chunk_enter(chunk);
+      try {
+        body(begin, end, chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.errors[chunk] = std::current_exception();
+      }
+      if (context != nullptr) context->chunk_exit(chunk);
+      t_in_chunk = false;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        --state.remaining;
+      }
+      state.done.notify_one();
+    });
+    begin = end;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  if (context != nullptr) context->region_end();
+
+  // Deterministic failure: the lowest-index chunk's exception wins.
+  for (const std::exception_ptr& error : state.errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace miro::par

@@ -1,0 +1,104 @@
+// Deterministic parallel execution layer.
+//
+// Chapter 5 of MIRO is embarrassingly parallel — hundreds of independent
+// per-destination routing-tree solves and thousands of independent
+// (source, destination, avoid) tuple evaluations. This layer runs such
+// loops across a lazily-started process-wide thread pool while keeping
+// every result bit-identical to the serial run:
+//
+//   * static chunking — [0, count) is split into at most thread_count()
+//     contiguous chunks, so which items share a chunk never depends on
+//     scheduling;
+//   * index-ordered merging — parallel_map writes results by item index,
+//     and callers of parallel_for either keep per-chunk accumulators that
+//     they merge in chunk order or reduce with order-independent sums;
+//   * RNG stays on the calling thread — sampling happens before the loop,
+//     workers only consume the sampled items.
+//
+// Thread count resolution (first match wins): set_thread_count(n > 0),
+// the MIRO_THREADS environment variable, std::thread::hardware_concurrency.
+// A count of 1 bypasses the pool entirely: the body runs inline on the
+// calling thread and no worker machinery is touched, so single-threaded
+// runs behave exactly as before this layer existed. Nested parallel_for
+// calls (a worker re-entering the layer) also run inline on the worker.
+//
+// Exceptions thrown by a chunk are captured and the lowest-chunk-index one
+// is rethrown on the calling thread after the join, so failure behaviour is
+// deterministic too.
+//
+// The WorkerContext hook lets a higher layer (obs: per-thread profiler
+// registries, see obs/profile.hpp) attach per-chunk thread-local state
+// without this library depending on it. All hook calls are fully ordered:
+// region_begin / region_end on the calling thread around the dispatch,
+// chunk_enter / chunk_exit on the executing thread around each body call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace miro::par {
+
+/// Per-region extension point (see file comment). Installed process-wide;
+/// only one context can be active. All methods are invoked only for real
+/// pool dispatches — inline (threads==1, single item, nested) runs skip
+/// the hooks entirely.
+class WorkerContext {
+ public:
+  virtual ~WorkerContext() = default;
+  /// Calling thread, before any chunk is dispatched.
+  virtual void region_begin(std::size_t chunks) = 0;
+  /// Executing worker thread, immediately before / after the chunk body.
+  virtual void chunk_enter(std::size_t chunk) = 0;
+  virtual void chunk_exit(std::size_t chunk) = 0;
+  /// Calling thread, after every chunk joined — merge/drain state here.
+  virtual void region_end() = 0;
+};
+
+/// Installs (or clears, with nullptr) the process-wide worker context.
+/// Must not be called while a parallel region is running.
+void set_worker_context(WorkerContext* context);
+WorkerContext* worker_context();
+
+/// Overrides the pool size; 0 restores automatic resolution
+/// (MIRO_THREADS env, else hardware concurrency). Takes effect on the
+/// next parallel_for — in-flight regions are unaffected.
+void set_thread_count(std::size_t count);
+
+/// The effective thread count the next parallel region will use (>= 1).
+std::size_t thread_count();
+
+/// The number of chunks parallel_for(count, ...) will dispatch under the
+/// current thread count — for pre-sizing per-chunk accumulators. Nested
+/// (inline) execution uses only chunk 0, so sizing by this value is always
+/// sufficient.
+std::size_t chunk_count(std::size_t count);
+
+/// Splits [0, count) into at most thread_count() contiguous chunks and
+/// runs body(begin, end, chunk_index) for each, blocking until all chunks
+/// finish. Chunk boundaries depend only on (count, thread_count()).
+/// With thread_count()==1 or count<=1 the body runs inline.
+void parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t begin, std::size_t end,
+                             std::size_t chunk)>& body);
+
+/// Maps fn over items with results in item order — the deterministic
+/// fan-out/fan-in idiom. The result type must be default-constructible.
+template <typename Item, typename Fn>
+auto parallel_map(const std::vector<Item>& items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, const Item&>> {
+  std::vector<std::invoke_result_t<Fn&, const Item&>> out(items.size());
+  parallel_for(items.size(), [&](std::size_t begin, std::size_t end,
+                                 std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i != end; ++i) out[i] = fn(items[i]);
+  });
+  return out;
+}
+
+/// Number of pool threads currently running (0 before first dispatch —
+/// the pool starts lazily). Exposed for tests.
+std::size_t pool_threads_running();
+
+}  // namespace miro::par

@@ -2,9 +2,11 @@
 
 #include <map>
 #include <ostream>
+#include <utility>
 
 #include "obs/profile.hpp"
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "topology/metrics.hpp"
 
@@ -27,19 +29,27 @@ AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
       plan.sample_tuples(plan.config().sources_per_destination);
   result.tuples = tuples.size();
 
-  std::size_t single_ok = 0;
-  std::size_t source_ok = 0;
-  std::size_t multi_ok[3] = {0, 0, 0};
+  // Per-tuple evaluations are independent; each chunk keeps its own
+  // counters (and its own BFS cache), merged after the join. Every merged
+  // quantity is a sum of per-tuple integers, so the totals are identical at
+  // any thread count.
+  struct Accum {
+    std::size_t single_ok = 0;
+    std::size_t source_ok = 0;
+    std::size_t multi_ok[3] = {0, 0, 0};
 
-  // Table 5.3 accumulators over single-path-failing tuples.
-  std::size_t hard_tuples = 0;
-  std::size_t hard_ok[3] = {0, 0, 0};
-  std::size_t hard_contacted[3] = {0, 0, 0};
-  std::size_t hard_paths[3] = {0, 0, 0};
+    // Table 5.3 accumulators over single-path-failing tuples.
+    std::size_t hard_tuples = 0;
+    std::size_t hard_ok[3] = {0, 0, 0};
+    std::size_t hard_contacted[3] = {0, 0, 0};
+    std::size_t hard_paths[3] = {0, 0, 0};
 
-  // Source-routing reachability cache: one BFS from the destination with the
-  // avoided AS removed answers every source for that (destination, avoid).
-  std::map<std::pair<NodeId, NodeId>, std::vector<bool>> source_cache;
+    // Source-routing reachability cache: one BFS from the destination with
+    // the avoided AS removed answers every source for that
+    // (destination, avoid). Per-chunk, so workers never share state; tuples
+    // of one destination are contiguous, so static chunking keeps the reuse.
+    std::map<std::pair<NodeId, NodeId>, std::vector<bool>> source_cache;
+  };
   auto reachable_set = [&plan](NodeId destination, NodeId avoid) {
     const AsGraph& graph = plan.graph();
     std::vector<bool> reachable(graph.node_count(), false);
@@ -57,40 +67,68 @@ AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
     return reachable;
   };
 
-  for (const SampledTuple& tuple : tuples) {
-    const RoutingTree& tree = plan.tree(tuple.tree_index);
+  std::vector<Accum> accums(par::chunk_count(tuples.size()));
+  par::parallel_for(
+      tuples.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        Accum& acc = accums[chunk];
+        for (std::size_t i = begin; i != end; ++i) {
+          const SampledTuple& tuple = tuples[i];
+          const RoutingTree& tree = plan.tree(tuple.tree_index);
 
-    bool single = false;
-    bool policy_ok[3] = {false, false, false};
-    std::size_t contacted[3] = {0, 0, 0};
-    std::size_t paths[3] = {0, 0, 0};
+          bool single = false;
+          bool policy_ok[3] = {false, false, false};
+          std::size_t contacted[3] = {0, 0, 0};
+          std::size_t paths[3] = {0, 0, 0};
+          for (std::size_t p = 0; p < 3; ++p) {
+            const auto outcome = engine.avoid_as(tree, tuple.source,
+                                                 tuple.avoid,
+                                                 core::kAllPolicies[p]);
+            policy_ok[p] = outcome.success;
+            contacted[p] = outcome.ases_contacted;
+            paths[p] = outcome.paths_received;
+            if (outcome.bgp_success) single = true;
+          }
+          if (single) ++acc.single_ok;
+          for (std::size_t p = 0; p < 3; ++p)
+            if (policy_ok[p]) ++acc.multi_ok[p];
+
+          const auto key = std::make_pair(tuple.destination, tuple.avoid);
+          auto it = acc.source_cache.find(key);
+          if (it == acc.source_cache.end())
+            it = acc.source_cache
+                     .emplace(key,
+                              reachable_set(tuple.destination, tuple.avoid))
+                     .first;
+          if (it->second[tuple.source]) ++acc.source_ok;
+
+          if (!single) {
+            ++acc.hard_tuples;
+            for (std::size_t p = 0; p < 3; ++p) {
+              if (policy_ok[p]) ++acc.hard_ok[p];
+              acc.hard_contacted[p] += contacted[p];
+              acc.hard_paths[p] += paths[p];
+            }
+          }
+        }
+      });
+
+  std::size_t single_ok = 0;
+  std::size_t source_ok = 0;
+  std::size_t multi_ok[3] = {0, 0, 0};
+  std::size_t hard_tuples = 0;
+  std::size_t hard_ok[3] = {0, 0, 0};
+  std::size_t hard_contacted[3] = {0, 0, 0};
+  std::size_t hard_paths[3] = {0, 0, 0};
+  for (const Accum& acc : accums) {
+    single_ok += acc.single_ok;
+    source_ok += acc.source_ok;
+    hard_tuples += acc.hard_tuples;
     for (std::size_t p = 0; p < 3; ++p) {
-      const auto outcome = engine.avoid_as(tree, tuple.source, tuple.avoid,
-                                           core::kAllPolicies[p]);
-      policy_ok[p] = outcome.success;
-      contacted[p] = outcome.ases_contacted;
-      paths[p] = outcome.paths_received;
-      if (outcome.bgp_success) single = true;
-    }
-    if (single) ++single_ok;
-    for (std::size_t p = 0; p < 3; ++p)
-      if (policy_ok[p]) ++multi_ok[p];
-
-    const auto key = std::make_pair(tuple.destination, tuple.avoid);
-    auto it = source_cache.find(key);
-    if (it == source_cache.end())
-      it = source_cache
-               .emplace(key, reachable_set(tuple.destination, tuple.avoid))
-               .first;
-    if (it->second[tuple.source]) ++source_ok;
-
-    if (!single) {
-      ++hard_tuples;
-      for (std::size_t p = 0; p < 3; ++p) {
-        if (policy_ok[p]) ++hard_ok[p];
-        hard_contacted[p] += contacted[p];
-        hard_paths[p] += paths[p];
-      }
+      multi_ok[p] += acc.multi_ok[p];
+      hard_ok[p] += acc.hard_ok[p];
+      hard_contacted[p] += acc.hard_contacted[p];
+      hard_paths[p] += acc.hard_paths[p];
     }
   }
 
@@ -155,15 +193,32 @@ DeploymentResult run_incremental_deployment(const ExperimentPlan& plan) {
 
   // Deployment only matters where plain BGP fails; restrict to those tuples
   // and use ubiquitous flexible-policy deployment as the gain baseline.
+  // Chunks filter independently and are concatenated in chunk order, which
+  // preserves the serial tuple order exactly.
+  struct FilterAccum {
+    std::vector<SampledTuple> tuples;
+    std::size_t base_ok = 0;
+  };
+  std::vector<FilterAccum> filtered(par::chunk_count(all_tuples.size()));
+  par::parallel_for(
+      all_tuples.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        FilterAccum& acc = filtered[chunk];
+        for (std::size_t i = begin; i != end; ++i) {
+          const SampledTuple& tuple = all_tuples[i];
+          const auto outcome =
+              engine.avoid_as(plan.tree(tuple.tree_index), tuple.source,
+                              tuple.avoid, core::ExportPolicy::Flexible);
+          if (outcome.bgp_success) continue;
+          acc.tuples.push_back(tuple);
+          if (outcome.success) ++acc.base_ok;
+        }
+      });
   std::vector<SampledTuple> tuples;
   std::size_t base_ok = 0;
-  for (const SampledTuple& tuple : all_tuples) {
-    const auto outcome =
-        engine.avoid_as(plan.tree(tuple.tree_index), tuple.source,
-                        tuple.avoid, core::ExportPolicy::Flexible);
-    if (outcome.bgp_success) continue;
-    tuples.push_back(tuple);
-    if (outcome.success) ++base_ok;
+  for (FilterAccum& acc : filtered) {
+    tuples.insert(tuples.end(), acc.tuples.begin(), acc.tuples.end());
+    base_ok += acc.base_ok;
   }
   if (base_ok == 0) return result;  // degenerate sample; nothing to plot
 
@@ -179,28 +234,46 @@ DeploymentResult run_incremental_deployment(const ExperimentPlan& plan) {
       bottom_deployed[by_degree[n - 1 - i]] = true;
     }
 
+    // One fused pass per fraction: each chunk evaluates its tuples under
+    // all three policies plus the low-degree control, keeping four success
+    // counters that merge as order-independent sums.
+    struct GainAccum {
+      std::size_t ok[3] = {0, 0, 0};
+      std::size_t low_ok = 0;
+    };
+    std::vector<GainAccum> gains(par::chunk_count(tuples.size()));
+    par::parallel_for(
+        tuples.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          GainAccum& acc = gains[chunk];
+          for (std::size_t i = begin; i != end; ++i) {
+            const SampledTuple& tuple = tuples[i];
+            const RoutingTree& tree = plan.tree(tuple.tree_index);
+            for (std::size_t p = 0; p < 3; ++p) {
+              if (engine
+                      .avoid_as(tree, tuple.source, tuple.avoid,
+                                core::kAllPolicies[p], &top_deployed)
+                      .success)
+                ++acc.ok[p];
+            }
+            if (engine
+                    .avoid_as(tree, tuple.source, tuple.avoid,
+                              core::ExportPolicy::Flexible, &bottom_deployed)
+                    .success)
+              ++acc.low_ok;
+          }
+        });
+
     DeploymentPoint point;
     point.fraction = static_cast<double>(count) / static_cast<double>(n);
-    for (std::size_t p = 0; p < 3; ++p) {
-      std::size_t ok = 0;
-      for (const SampledTuple& tuple : tuples) {
-        if (engine
-                .avoid_as(plan.tree(tuple.tree_index), tuple.source,
-                          tuple.avoid, core::kAllPolicies[p], &top_deployed)
-                .success)
-          ++ok;
-      }
-      point.relative_gain[p] = ratio(ok, base_ok);
-    }
+    std::size_t ok[3] = {0, 0, 0};
     std::size_t low_ok = 0;
-    for (const SampledTuple& tuple : tuples) {
-      if (engine
-              .avoid_as(plan.tree(tuple.tree_index), tuple.source,
-                        tuple.avoid, core::ExportPolicy::Flexible,
-                        &bottom_deployed)
-              .success)
-        ++low_ok;
+    for (const GainAccum& acc : gains) {
+      for (std::size_t p = 0; p < 3; ++p) ok[p] += acc.ok[p];
+      low_ok += acc.low_ok;
     }
+    for (std::size_t p = 0; p < 3; ++p)
+      point.relative_gain[p] = ratio(ok[p], base_ok);
     point.low_degree_first_gain = ratio(low_ok, base_ok);
     result.points.push_back(point);
   }

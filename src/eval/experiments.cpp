@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "obs/profile.hpp"
 
 namespace miro::eval {
@@ -20,8 +22,19 @@ ExperimentPlan::ExperimentPlan(const EvalConfig& config) : config_(config) {
   for (std::size_t index : rng.sample_indices(n, samples))
     destinations_.push_back(static_cast<NodeId>(index));
   std::sort(destinations_.begin(), destinations_.end());
+  // Every per-destination solve is independent; fan out and collect the
+  // trees in destination order so the plan is identical at any thread count.
+  std::vector<std::unique_ptr<RoutingTree>> solved(destinations_.size());
+  par::parallel_for(
+      destinations_.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t i = begin; i != end; ++i) {
+          solved[i] =
+              std::make_unique<RoutingTree>(solver_->solve(destinations_[i]));
+        }
+      });
   trees_.reserve(destinations_.size());
-  for (NodeId dest : destinations_) trees_.push_back(solver_->solve(dest));
+  for (auto& tree : solved) trees_.push_back(std::move(*tree));
 }
 
 std::vector<SampledPair> ExperimentPlan::sample_pairs(

@@ -1,9 +1,11 @@
 #include "eval/path_diversity.hpp"
 
+#include <array>
 #include <ostream>
 
 #include "obs/profile.hpp"
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -20,13 +22,28 @@ DiversityResult run_path_diversity(const ExperimentPlan& plan) {
 
   constexpr core::NegotiationScope kScopes[] = {
       core::NegotiationScope::OneHop, core::NegotiationScope::OnPath};
+  // All six (scope, policy) counts of one pair fan out together; the
+  // Summary objects are then filled serially in pair order, so percentiles
+  // see exactly the serial value sequence at any thread count.
+  const auto pair_counts = par::parallel_map(
+      pairs, [&](const SampledPair& pair) {
+        std::array<double, 6> counts{};
+        std::size_t slot = 0;
+        for (core::NegotiationScope scope : kScopes) {
+          for (core::ExportPolicy policy : core::kAllPolicies) {
+            counts[slot++] = static_cast<double>(engine.count(
+                plan.tree(pair.tree_index), pair.source, scope, policy));
+          }
+        }
+        return counts;
+      });
+  std::size_t slot = 0;
   for (core::NegotiationScope scope : kScopes) {
     for (core::ExportPolicy policy : core::kAllPolicies) {
       Summary counts;
-      for (const SampledPair& pair : pairs) {
-        counts.add(static_cast<double>(engine.count(
-            plan.tree(pair.tree_index), pair.source, scope, policy)));
-      }
+      for (std::size_t i = 0; i < pairs.size(); ++i)
+        counts.add(pair_counts[i][slot]);
+      ++slot;
       DiversityRow row;
       row.scope = scope;
       row.policy = policy;

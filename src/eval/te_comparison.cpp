@@ -6,6 +6,7 @@
 
 #include "obs/profile.hpp"
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -58,18 +59,26 @@ TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
     return error;
   };
 
-  for (NodeId stub : stubs) {
+  // Every stub's solve-and-measure is independent; fan out, then fill the
+  // Summary accumulators serially in stub order so the percentiles see the
+  // serial value sequence at any thread count.
+  struct StubOutcome {
+    bool degenerate = false;
+    double miro_moved = 0;
+    double miro_error = 0;
+    double deagg_moved = 0;
+    double deagg_error = 0;
+    std::vector<double> prepend_moved;
+    double prepend_error = 0;
+  };
+  const auto outcomes = par::parallel_map(stubs, [&](NodeId stub) {
+    StubOutcome outcome;
     const RoutingTree tree = solver.solve(stub);
     std::size_t total = 0;
     const auto before = ingress_split(graph, tree, total);
     if (total == 0 || before.size() < 2) {
-      miro_moved.add(0);
-      deagg_moved.add(0);
-      for (auto& summary : prepend_moved) summary.add(0);
-      miro_error.add(target);
-      deagg_error.add(target);
-      prepend_error.add(target);
-      continue;
+      outcome.degenerate = true;
+      return outcome;
     }
     // The loaded link we want to unload and the share of the rest.
     auto loaded = std::max_element(
@@ -127,10 +136,9 @@ TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
                          static_cast<double>(total));
         }
       }
-      miro_moved.add(menu.empty()
-                         ? 0
-                         : *std::max_element(menu.begin(), menu.end()));
-      miro_error.add(targeting_error(menu));
+      outcome.miro_moved =
+          menu.empty() ? 0 : *std::max_element(menu.begin(), menu.end());
+      outcome.miro_error = targeting_error(menu);
     }
 
     // --- Deaggregation: a /half more-specific via an underused provider.
@@ -141,8 +149,8 @@ TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
     // the quiet link chosen opposite the loaded one, the shift onto it is
     // half of the loaded link's share.
     const double deagg_shift = 0.5 * loaded_share;
-    deagg_moved.add(deagg_shift);
-    deagg_error.add(targeting_error({deagg_shift}));
+    outcome.deagg_moved = deagg_shift;
+    outcome.deagg_error = targeting_error({deagg_shift});
 
     // --- Prepending toward the loaded provider: one knob, a few depths. ---
     std::vector<double> prepend_menu;
@@ -157,10 +165,30 @@ TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
       const double moved = std::max(
           0.0, (static_cast<double>(loaded->second) - still_there) /
                    static_cast<double>(total));
-      prepend_moved[k].add(moved);
       prepend_menu.push_back(moved);
     }
-    prepend_error.add(targeting_error(prepend_menu));
+    outcome.prepend_moved = prepend_menu;
+    outcome.prepend_error = targeting_error(prepend_menu);
+    return outcome;
+  });
+
+  for (const StubOutcome& outcome : outcomes) {
+    if (outcome.degenerate) {
+      miro_moved.add(0);
+      deagg_moved.add(0);
+      for (auto& summary : prepend_moved) summary.add(0);
+      miro_error.add(target);
+      deagg_error.add(target);
+      prepend_error.add(target);
+      continue;
+    }
+    miro_moved.add(outcome.miro_moved);
+    miro_error.add(outcome.miro_error);
+    deagg_moved.add(outcome.deagg_moved);
+    deagg_error.add(outcome.deagg_error);
+    for (std::size_t k = 0; k < config.prepend_depths.size(); ++k)
+      prepend_moved[k].add(outcome.prepend_moved[k]);
+    prepend_error.add(outcome.prepend_error);
   }
 
   result.target_shift = target;

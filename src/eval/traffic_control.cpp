@@ -5,6 +5,7 @@
 
 #include "obs/profile.hpp"
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "topology/metrics.hpp"
@@ -86,12 +87,24 @@ TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
   std::size_t best_power_two_hop = 0;
   std::size_t stubs_with_power = 0;
 
-  for (NodeId stub : stubs) {
+  // Per-stub solves fan out; the Summary accumulators and the power-node
+  // counters are then filled serially in stub order, keeping the output
+  // bit-identical at any thread count.
+  struct StubControl {
+    double best[4] = {0, 0, 0, 0};
+    NodeId best_power = topo::kInvalidNode;
+    bool empty = false;  ///< no traffic: add zeros, skip power counters
+    bool power_top_degree = false;
+    bool power_neighbor = false;
+    bool power_two_hop = false;
+  };
+  const auto controls = par::parallel_map(stubs, [&](NodeId stub) {
+    StubControl control;
     const RoutingTree tree = solver.solve(stub);
     const TrafficView view = measure(graph, tree);
     if (view.total == 0) {
-      for (auto& summary : best_move) summary.add(0);
-      continue;
+      control.empty = true;
+      return control;
     }
 
     // Candidate power nodes: the ASes most default paths traverse.
@@ -107,8 +120,8 @@ TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
     if (candidates.size() > config.power_node_candidates)
       candidates.resize(config.power_node_candidates);
 
-    double best[4] = {0, 0, 0, 0};
-    NodeId best_power_node = topo::kInvalidNode;
+    double* best = control.best;
+    NodeId& best_power_node = control.best_power;
 
     for (NodeId power : candidates) {
       if (power == stub || !tree.reachable(power)) continue;
@@ -152,12 +165,25 @@ TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
       }
     }
 
-    for (std::size_t k = 0; k < 4; ++k) best_move[k].add(best[k]);
     if (best_power_node != topo::kInvalidNode) {
+      control.power_top_degree = top_degree[best_power_node];
+      control.power_neighbor = graph.has_edge(stub, best_power_node);
+      control.power_two_hop = tree.path_length(best_power_node) == 2;
+    }
+    return control;
+  });
+
+  for (const StubControl& control : controls) {
+    if (control.empty) {
+      for (auto& summary : best_move) summary.add(0);
+      continue;
+    }
+    for (std::size_t k = 0; k < 4; ++k) best_move[k].add(control.best[k]);
+    if (control.best_power != topo::kInvalidNode) {
       ++stubs_with_power;
-      if (top_degree[best_power_node]) ++best_power_top_degree;
-      if (graph.has_edge(stub, best_power_node)) ++best_power_neighbor;
-      if (tree.path_length(best_power_node) == 2) ++best_power_two_hop;
+      if (control.power_top_degree) ++best_power_top_degree;
+      if (control.power_neighbor) ++best_power_neighbor;
+      if (control.power_two_hop) ++best_power_two_hop;
     }
   }
 

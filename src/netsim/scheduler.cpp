@@ -19,34 +19,49 @@ Scheduler::TimerToken Scheduler::at(Time t, Callback callback) {
   return TimerToken(std::move(alive));
 }
 
-bool Scheduler::run_one() {
+bool Scheduler::next_live_event(bool bounded, Time limit) {
   while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
-    if (!*event.alive) {  // cancelled
-      if (trace_ != nullptr) {
-        trace_->record({event.time, obs::EventType::TimerCancelled, 0, 0, 0, 0,
-                        static_cast<std::int64_t>(event.sequence), ""});
-      }
-      continue;
-    }
-    *event.alive = false;  // mark fired
+    const Event& top = queue_.top();
+    // Never pop past the bound: a cancelled event beyond `limit` must stay
+    // queued, or skipping it would overshoot now_ and expose later live
+    // events to run_until.
+    if (bounded && top.time > limit) return false;
+    if (*top.alive) return true;
+    // Cancelled: discard, observing its originally scheduled time.
+    now_ = top.time;
     if (trace_ != nullptr) {
-      trace_->record({event.time, obs::EventType::TimerFired, 0, 0, 0, 0,
-                      static_cast<std::int64_t>(event.sequence), ""});
+      trace_->record({top.time, obs::EventType::TimerCancelled, 0, 0, 0, 0,
+                      static_cast<std::int64_t>(top.sequence), ""});
     }
-    event.callback();
-    return true;
+    queue_.pop();
   }
   return false;
+}
+
+void Scheduler::fire_top() {
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  *event.alive = false;  // mark fired
+  if (trace_ != nullptr) {
+    trace_->record({event.time, obs::EventType::TimerFired, 0, 0, 0, 0,
+                    static_cast<std::int64_t>(event.sequence), ""});
+  }
+  event.callback();
+}
+
+bool Scheduler::run_one() {
+  if (!next_live_event(false, 0)) return false;
+  fire_top();
+  return true;
 }
 
 std::size_t Scheduler::run_until(Time t) {
   obs::ScopedSpan span(obs::profile(), "netsim/run_until", "netsim");
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (run_one()) ++executed;
+  while (next_live_event(true, t)) {
+    fire_top();
+    ++executed;
   }
   if (now_ < t) now_ = t;
   return executed;
@@ -55,16 +70,19 @@ std::size_t Scheduler::run_until(Time t) {
 std::size_t Scheduler::run_all(std::size_t max_events) {
   obs::ScopedSpan span(obs::profile(), "netsim/run_all", "netsim");
   std::size_t executed = 0;
-  while (run_one()) {
-    if (++executed > max_events) {
-      // A livelocked chaos run must be tellable apart from any other
-      // require() failure, so report where the simulation was stuck.
+  while (next_live_event(false, 0)) {
+    if (executed >= max_events) {
+      // The budget is checked before firing, so a livelocked run executes
+      // exactly max_events callbacks; the diagnostic tells it apart from
+      // any other require() failure by reporting where it was stuck.
       throw Error("Scheduler::run_all: event budget exhausted (runaway "
                   "simulation?): now=" +
                   std::to_string(now_) +
                   ", pending_events=" + std::to_string(queue_.size()) +
                   ", max_events=" + std::to_string(max_events));
     }
+    fire_top();
+    ++executed;
   }
   return executed;
 }

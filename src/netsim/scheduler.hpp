@@ -55,11 +55,14 @@ class Scheduler {
   /// Runs the next event; returns false when the queue is empty.
   bool run_one();
 
-  /// Runs events with timestamp <= `t` (and advances now() to `t`).
+  /// Runs events with timestamp <= `t` (and advances now() to `t`). Events
+  /// scheduled after `t` — live or cancelled — are never touched.
   /// Returns the number of events executed.
   std::size_t run_until(Time t);
 
-  /// Drains the queue; throws after `max_events` as a runaway guard.
+  /// Drains the queue; throws once a live event beyond the `max_events`
+  /// budget is due (exactly `max_events` callbacks execute first) as a
+  /// runaway guard. Cancelled events never count against the budget.
   std::size_t run_all(std::size_t max_events = 1'000'000);
 
   std::size_t pending_events() const { return queue_.size(); }
@@ -71,6 +74,13 @@ class Scheduler {
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
  private:
+  /// Discards cancelled events at the head of the queue (observing their
+  /// scheduled times) until a live event is on top; returns false when the
+  /// queue empties or (if `bounded`) the head lies beyond `limit`.
+  bool next_live_event(bool bounded, Time limit);
+  /// Pops and executes the head event, which must be live.
+  void fire_top();
+
   struct Event {
     Time time;
     std::uint64_t sequence;

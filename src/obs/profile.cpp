@@ -1,8 +1,11 @@
 #include "obs/profile.hpp"
 
 #include <chrono>
+#include <memory>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 namespace miro::obs {
@@ -16,12 +19,59 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
-ProfileRegistry* g_profile = nullptr;
+ProfileRegistry* g_profile = nullptr;            ///< set_profile's registry
+thread_local ProfileRegistry* t_profile = nullptr;  ///< what profile() sees
+
+/// Bridges the parallel layer to per-chunk registries: every pool chunk
+/// records into its own ProfileRegistry (created on the calling thread in
+/// region_begin, so allocation is deterministic), and region_end merges
+/// them into the attached registry in chunk order. When profiling is
+/// disabled the hooks reduce to one null check and workers keep a null
+/// thread-local — the zero-cost contract.
+class ParallelProfileContext final : public par::WorkerContext {
+ public:
+  void region_begin(std::size_t chunks) override {
+    active_ = g_profile != nullptr;
+    if (!active_) return;
+    registries_.clear();
+    registries_.reserve(chunks);
+    for (std::size_t i = 0; i < chunks; ++i)
+      registries_.push_back(std::make_unique<ProfileRegistry>());
+  }
+
+  void chunk_enter(std::size_t chunk) override {
+    if (active_) t_profile = registries_[chunk].get();
+  }
+
+  void chunk_exit(std::size_t /*chunk*/) override {
+    if (active_) t_profile = nullptr;
+  }
+
+  void region_end() override {
+    if (!active_) return;
+    for (const auto& registry : registries_)
+      g_profile->merge_from(*registry);
+    registries_.clear();
+    active_ = false;
+  }
+
+ private:
+  bool active_ = false;
+  std::vector<std::unique_ptr<ProfileRegistry>> registries_;
+};
+
+ParallelProfileContext g_parallel_context;
 
 }  // namespace
 
-ProfileRegistry* profile() { return g_profile; }
-void set_profile(ProfileRegistry* registry) { g_profile = registry; }
+ProfileRegistry* profile() { return t_profile; }
+
+void set_profile(ProfileRegistry* registry) {
+  g_profile = registry;
+  t_profile = registry;
+  par::set_worker_context(registry != nullptr ? &g_parallel_context
+                                              : nullptr);
+}
 
 ProfileRegistry::ProfileRegistry(std::size_t max_spans)
     : max_spans_(max_spans) {
@@ -106,6 +156,39 @@ void ProfileRegistry::export_metrics(MetricsRegistry& registry,
     registry.gauge(base + ".max_ms")
         .set(static_cast<double>(stats.max_ns) / 1e6);
   }
+}
+
+void ProfileRegistry::merge_from(const ProfileRegistry& other) {
+  require(other.stack_.empty(),
+          "ProfileRegistry::merge_from: other registry has open spans");
+  auto fold = [](SpanStats& into, const SpanStats& from) {
+    into.count += from.count;
+    into.total_ns += from.total_ns;
+    into.self_ns += from.self_ns;
+    if (from.max_ns > into.max_ns) into.max_ns = from.max_ns;
+  };
+  for (const auto& [name, stats] : other.by_name_) fold(by_name_[name], stats);
+  for (const auto& [category, stats] : other.by_category_)
+    fold(by_category_[category], stats);
+
+  // Both origins are instants of the same underlying clock; shifting by
+  // their difference puts the other log onto this registry's timeline.
+  const std::int64_t delta = static_cast<std::int64_t>(other.origin_ns_) -
+                             static_cast<std::int64_t>(origin_ns_);
+  auto shift = [delta](std::uint64_t ns) {
+    const std::int64_t shifted = static_cast<std::int64_t>(ns) + delta;
+    return shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+  };
+  for (const SpanRecord& record : other.spans_) {
+    if (spans_.size() < max_spans_) {
+      spans_.push_back({record.name, record.category, shift(record.begin_ns),
+                        shift(record.end_ns), record.depth});
+    } else {
+      ++dropped_;
+    }
+  }
+  recorded_ += other.recorded_;
+  dropped_ += other.dropped_;
 }
 
 void ProfileRegistry::reset() {

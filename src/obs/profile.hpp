@@ -20,8 +20,18 @@
 // Free functions deep in the libraries (topo::generate, the eval pipelines)
 // cannot thread a registry pointer through their signatures, so attachment
 // is process-wide: obs::set_profile() installs the registry and
-// obs::profile() is the nullable pointer every site checks. The simulator is
-// single-threaded; the registry is not thread-safe.
+// obs::profile() is the nullable pointer every site checks.
+//
+// Threads: a ProfileRegistry is single-threaded, but profile() resolves
+// through a thread-local slot so the parallel layer (common/parallel.hpp)
+// can profile worker threads without locking. set_profile() binds the
+// registry to the calling thread and installs a par::WorkerContext that
+// gives each pool chunk its own private ProfileRegistry and merges them
+// (merge_from, in chunk order) into the attached registry when the region
+// joins. On threads with nothing installed profile() is null, so workers
+// keep the zero-cost contract when profiling is disabled. Spans recorded
+// inside a parallel region are merged flat — they do not contribute child
+// time to the span open on the calling thread.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +99,14 @@ class ProfileRegistry {
   /// Drops all recorded spans and aggregates (open spans survive).
   void reset();
 
+  /// Folds another registry's completed spans into this one: per-name and
+  /// per-category aggregates are summed, and the other registry's span log
+  /// is appended (subject to this registry's max_spans bound) with
+  /// timestamps shifted onto this registry's clock origin so Chrome-trace
+  /// export stays on one timeline. `other` must have no open spans. Used by
+  /// the parallel layer to drain per-worker registries after a join.
+  void merge_from(const ProfileRegistry& other);
+
  private:
   friend class ScopedSpan;
 
@@ -135,9 +153,11 @@ class ScopedSpan {
   ProfileRegistry* registry_;
 };
 
-/// The process-wide registry instrumentation sites consult. Null (profiling
-/// disabled) until set_profile() attaches one; the caller keeps ownership
-/// and must detach (set_profile(nullptr)) before destroying it.
+/// The registry instrumentation sites consult on this thread. Null
+/// (profiling disabled) until set_profile() attaches one; the caller keeps
+/// ownership and must detach (set_profile(nullptr)) before destroying it.
+/// Worker threads see the per-chunk registry the parallel layer installs
+/// for the duration of a chunk, and null otherwise.
 ProfileRegistry* profile();
 void set_profile(ProfileRegistry* registry);
 

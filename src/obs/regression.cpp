@@ -88,7 +88,12 @@ RegressionReport compare_bench_json(const JsonValue& baseline,
                        ? (row.current == 0 ? 0 : 1.0)
                        : (row.current - row.baseline) / std::abs(row.baseline);
       row.gated = is_perf_unit(row.unit);
-      if (row.gated) {
+      if (options.values_only) {
+        // Determinism gate: wall-clock rows are expected to differ across
+        // thread counts; everything else must be bit-identical.
+        if (!row.gated) row.regressed = row.current != row.baseline;
+        row.gated = !row.gated;
+      } else if (row.gated) {
         if (std::abs(row.baseline) >= options.min_magnitude) {
           const double worse =
               higher_is_worse(row.unit) ? row.change : -row.change;

@@ -33,6 +33,11 @@ struct RegressionOptions {
   double min_magnitude = 1.0;
   /// Also fail when a non-gated (unitless/count) row's value drifts.
   bool check_values = false;
+  /// Determinism mode: perf (time/rate) rows become informational and every
+  /// other row must match EXACTLY — the contract that two runs of the same
+  /// suite at different --threads counts produce identical results.
+  /// Missing rows/benches still fail. Overrides threshold/check_values.
+  bool values_only = false;
 };
 
 struct RegressionRow {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "bgp/decision_process.hpp"
+#include "common/error.hpp"
 #include "bgp/path_vector_engine.hpp"
 #include "bgp/route.hpp"
 #include "bgp/route_solver.hpp"
@@ -9,6 +10,17 @@
 #include "topology/generator.hpp"
 
 namespace miro::bgp {
+
+// Corrupts a solved tree's next-hop entries to exercise the bounded-walk
+// guards — states no correct solver run can produce.
+struct RoutingTreeTestAccess {
+  static void set_next_hop(RoutingTree& tree, topo::NodeId node,
+                           topo::NodeId next_hop) {
+    tree.entries_[node].reachable = true;
+    tree.entries_[node].next_hop = next_hop;
+  }
+};
+
 namespace {
 
 using test::Figure31Topology;
@@ -110,6 +122,21 @@ TEST(StableRouteSolver, IngressNeighbor) {
   EXPECT_EQ(tree.ingress_neighbor(fig.a), fig.e);
   EXPECT_EQ(tree.ingress_neighbor(fig.c), fig.c);
   EXPECT_EQ(tree.ingress_neighbor(fig.f), topo::kInvalidNode);
+}
+
+// Regression: ingress_neighbor walked next_hop chains with no loop guard;
+// a corrupted (or buggy) tree with a next-hop cycle spun forever. The walk
+// is now bounded by the node count and throws instead.
+TEST(StableRouteSolver, IngressNeighborGuardsAgainstNextHopLoops) {
+  Figure31Topology fig;
+  StableRouteSolver solver(fig.graph);
+  RoutingTree tree = solver.solve(fig.f);
+  // Force a two-node cycle b -> e -> b that never reaches the destination.
+  RoutingTreeTestAccess::set_next_hop(tree, fig.b, fig.e);
+  RoutingTreeTestAccess::set_next_hop(tree, fig.e, fig.b);
+  EXPECT_THROW(tree.ingress_neighbor(fig.b), Error);
+  // Nodes outside the cycle still resolve.
+  EXPECT_EQ(tree.ingress_neighbor(fig.c), fig.c);
 }
 
 TEST(StableRouteSolver, CandidatesAtBIncludePeerRoute) {

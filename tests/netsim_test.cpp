@@ -89,6 +89,74 @@ TEST(Scheduler, RunawayGuardThrows) {
   EXPECT_THROW(scheduler.run_all(1000), Error);
 }
 
+// Regression: with a cancelled event at the head of the queue, run_until(t)
+// used to skip past it and fire the *next* live event even when that event
+// was scheduled after t — overshooting both the boundary and the clock.
+TEST(Scheduler, RunUntilDoesNotFireEventsBeyondBoundaryPastCancelledHead) {
+  Scheduler scheduler;
+  bool fired = false;
+  auto cancelled = scheduler.at(5, [] { FAIL() << "cancelled event fired"; });
+  scheduler.at(100, [&] { fired = true; });
+  cancelled.cancel();
+  EXPECT_EQ(scheduler.run_until(10), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(scheduler.now(), 10u);
+  EXPECT_EQ(scheduler.pending_events(), 1u);  // live@100 still queued
+  // The live event fires once the boundary actually reaches it.
+  EXPECT_EQ(scheduler.run_until(100), 1u);
+  EXPECT_TRUE(fired);
+}
+
+// A cancelled event scheduled beyond the boundary must stay queued; popping
+// it would drag now_ past t.
+TEST(Scheduler, RunUntilLeavesCancelledEventsBeyondBoundaryQueued) {
+  Scheduler scheduler;
+  auto token = scheduler.at(100, [] { FAIL() << "cancelled event fired"; });
+  token.cancel();
+  EXPECT_EQ(scheduler.run_until(10), 0u);
+  EXPECT_EQ(scheduler.now(), 10u);
+  EXPECT_EQ(scheduler.pending_events(), 1u);
+  // Draining past it discards it without firing and without counting it.
+  EXPECT_EQ(scheduler.run_until(200), 0u);
+  EXPECT_EQ(scheduler.now(), 200u);
+  EXPECT_EQ(scheduler.pending_events(), 0u);
+}
+
+// Regression: run_all(max_events) used to execute max_events + 1 events
+// before noticing the budget was blown.
+TEST(Scheduler, RunAllBudgetIsExact) {
+  Scheduler scheduler;
+  std::size_t executed = 0;
+  for (Time t = 1; t <= 5; ++t)
+    scheduler.at(t, [&] { ++executed; });
+  EXPECT_THROW(scheduler.run_all(4), Error);
+  EXPECT_EQ(executed, 4u);  // not 5: the budget is a hard cap
+  EXPECT_EQ(scheduler.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunAllBudgetEqualToEventCountSucceeds) {
+  Scheduler scheduler;
+  std::size_t executed = 0;
+  for (Time t = 1; t <= 5; ++t)
+    scheduler.at(t, [&] { ++executed; });
+  EXPECT_EQ(scheduler.run_all(5), 5u);
+  EXPECT_EQ(executed, 5u);
+}
+
+TEST(Scheduler, CancelledEventsDoNotCountAgainstRunAllBudget) {
+  Scheduler scheduler;
+  std::vector<Scheduler::TimerToken> tokens;
+  for (Time t = 1; t <= 10; ++t)
+    tokens.push_back(scheduler.at(t, [] { FAIL() << "cancelled fired"; }));
+  for (auto& token : tokens) token.cancel();
+  std::size_t executed = 0;
+  scheduler.at(20, [&] { ++executed; });
+  // Budget of 1 live event; the ten cancelled ones are free.
+  EXPECT_EQ(scheduler.run_all(1), 1u);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(scheduler.now(), 20u);
+}
+
 TEST(MessageBus, DeliversWithDefaultDelay) {
   Scheduler scheduler;
   MessageBus<std::string> bus(scheduler, /*default_delay=*/15);

@@ -1,0 +1,475 @@
+// Tests for the deterministic parallel execution layer (common/parallel)
+// and its observability integration (per-chunk profiler registries).
+//
+// The first few tests assert that inline execution paths never touch the
+// pool; they rely on running before any test that actually dispatches, so
+// keep them at the top of this file (gtest runs tests in registration
+// order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "eval/avoid_as.hpp"
+#include "eval/experiments.hpp"
+#include "eval/path_diversity.hpp"
+#include "eval/te_comparison.hpp"
+#include "eval/traffic_control.hpp"
+#include "obs/profile.hpp"
+
+namespace miro {
+namespace {
+
+/// Sets the pool size for one test and restores automatic resolution.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t count) { par::set_thread_count(count); }
+  ~ThreadCountGuard() { par::set_thread_count(0); }
+};
+
+// ------------------------------------------------------------ inline paths
+
+TEST(Parallel, ThreadsOneBypassesPoolEntirely) {
+  ThreadCountGuard guard(1);
+  EXPECT_EQ(par::thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> calls;
+  par::parallel_for(100, [&](std::size_t begin, std::size_t end,
+                             std::size_t chunk) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls.emplace_back(begin, end, chunk);
+  });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_tuple(std::size_t{0}, std::size_t{100},
+                                      std::size_t{0}));
+  // The single-thread path must not even start the pool.
+  EXPECT_EQ(par::pool_threads_running(), 0u);
+}
+
+TEST(Parallel, ZeroItemsRunsNothing) {
+  ThreadCountGuard guard(4);
+  bool called = false;
+  par::parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(par::chunk_count(0), 0u);
+  const auto mapped =
+      par::parallel_map(std::vector<int>{}, [](const int& v) { return v; });
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_EQ(par::pool_threads_running(), 0u);
+}
+
+TEST(Parallel, SingleItemRunsInlineEvenWithManyThreads) {
+  ThreadCountGuard guard(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  par::parallel_for(1, [&](std::size_t begin, std::size_t end,
+                           std::size_t chunk) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    EXPECT_EQ(chunk, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(par::chunk_count(1), 1u);
+  EXPECT_EQ(par::pool_threads_running(), 0u);
+}
+
+// ------------------------------------------------------------ dispatching
+
+TEST(Parallel, StaticChunkingCoversAllIndicesExactlyOnce) {
+  ThreadCountGuard guard(4);
+  const std::size_t count = 103;  // not divisible by 4
+  std::vector<std::atomic<int>> seen(count);
+  std::mutex mutex;
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> chunks;
+  par::parallel_for(count, [&](std::size_t begin, std::size_t end,
+                               std::size_t chunk) {
+    for (std::size_t i = begin; i != end; ++i) seen[i].fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(begin, end, chunk);
+  });
+  for (std::size_t i = 0; i < count; ++i)
+    EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+
+  ASSERT_EQ(chunks.size(), par::chunk_count(count));
+  ASSERT_EQ(chunks.size(), 4u);
+  // Sorted by chunk index, the chunks form a contiguous balanced partition
+  // whose boundaries depend only on (count, thread_count).
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<2>(a) < std::get<2>(b);
+            });
+  std::size_t expected_begin = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const auto [begin, end, chunk] = chunks[c];
+    EXPECT_EQ(chunk, c);
+    EXPECT_EQ(begin, expected_begin);
+    const std::size_t size = end - begin;
+    EXPECT_TRUE(size == 25 || size == 26) << "chunk " << c;
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, count);
+  EXPECT_GE(par::pool_threads_running(), 1u);
+}
+
+TEST(Parallel, MoreThreadsThanItemsMakesOneChunkPerItem) {
+  ThreadCountGuard guard(8);
+  EXPECT_EQ(par::chunk_count(3), 3u);
+  std::vector<std::atomic<int>> seen(3);
+  par::parallel_for(3, [&](std::size_t begin, std::size_t end,
+                           std::size_t chunk) {
+    EXPECT_EQ(end, begin + 1);
+    EXPECT_EQ(chunk, begin);
+    seen[begin].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(seen[i].load(), 1);
+}
+
+TEST(Parallel, ParallelMapPreservesItemOrder) {
+  ThreadCountGuard guard(4);
+  std::vector<int> items(500);
+  for (int i = 0; i < 500; ++i) items[i] = i;
+  const auto squares =
+      par::parallel_map(items, [](const int& v) { return v * v; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Parallel, LowestChunkExceptionWinsAndPoolSurvives) {
+  ThreadCountGuard guard(4);
+  // 8 items across 4 chunks; chunks 1 and 3 throw. The rethrow on the
+  // calling thread must deterministically pick chunk 1's exception.
+  try {
+    par::parallel_for(8, [](std::size_t, std::size_t, std::size_t chunk) {
+      if (chunk == 1 || chunk == 3)
+        throw std::runtime_error("boom from chunk " + std::to_string(chunk));
+    });
+    FAIL() << "parallel_for swallowed the worker exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom from chunk 1");
+  }
+  // The pool keeps working after a failed region.
+  std::atomic<int> done{0};
+  par::parallel_for(8, [&](std::size_t begin, std::size_t end, std::size_t) {
+    done.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(Parallel, NestedParallelForRunsInlineOnTheWorker) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> inner_seen(40);
+  std::atomic<int> inner_calls{0};
+  par::parallel_for(4, [&](std::size_t begin, std::size_t end,
+                           std::size_t) {
+    for (std::size_t i = begin; i != end; ++i) {
+      const std::thread::id worker = std::this_thread::get_id();
+      // A nested region must not re-enter the pool (deadlock risk with
+      // every worker blocked waiting); it runs inline as one chunk.
+      par::parallel_for(10, [&, worker](std::size_t ib, std::size_t ie,
+                                        std::size_t chunk) {
+        EXPECT_EQ(std::this_thread::get_id(), worker);
+        EXPECT_EQ(chunk, 0u);
+        inner_calls.fetch_add(1);
+        for (std::size_t j = ib; j != ie; ++j)
+          inner_seen[i * 10 + j].fetch_add(1);
+      });
+    }
+  });
+  EXPECT_EQ(inner_calls.load(), 4);
+  for (std::size_t i = 0; i < inner_seen.size(); ++i)
+    EXPECT_EQ(inner_seen[i].load(), 1) << "inner index " << i;
+}
+
+TEST(Parallel, ThreadCountOverrideAndChunkCount) {
+  ThreadCountGuard guard(3);
+  EXPECT_EQ(par::thread_count(), 3u);
+  EXPECT_EQ(par::chunk_count(2), 2u);
+  EXPECT_EQ(par::chunk_count(3), 3u);
+  EXPECT_EQ(par::chunk_count(100), 3u);
+  par::set_thread_count(0);
+  EXPECT_GE(par::thread_count(), 1u);  // auto resolution
+}
+
+// ------------------------------------------------------ worker context hooks
+
+class CountingContext final : public par::WorkerContext {
+ public:
+  void region_begin(std::size_t chunks) override {
+    begin_calls_.fetch_add(1);
+    chunks_.store(chunks);
+  }
+  void chunk_enter(std::size_t) override { enters_.fetch_add(1); }
+  void chunk_exit(std::size_t) override { exits_.fetch_add(1); }
+  void region_end() override { end_calls_.fetch_add(1); }
+
+  int begins() const { return begin_calls_.load(); }
+  int ends() const { return end_calls_.load(); }
+  int enters() const { return enters_.load(); }
+  int exits() const { return exits_.load(); }
+  std::size_t chunks() const { return chunks_.load(); }
+
+ private:
+  std::atomic<int> begin_calls_{0}, end_calls_{0}, enters_{0}, exits_{0};
+  std::atomic<std::size_t> chunks_{0};
+};
+
+TEST(Parallel, WorkerContextHooksFireOncePerChunk) {
+  ThreadCountGuard guard(4);
+  CountingContext context;
+  par::set_worker_context(&context);
+  par::parallel_for(8, [](std::size_t, std::size_t, std::size_t) {});
+  par::set_worker_context(nullptr);
+  EXPECT_EQ(context.begins(), 1);
+  EXPECT_EQ(context.ends(), 1);
+  EXPECT_EQ(context.chunks(), 4u);
+  EXPECT_EQ(context.enters(), 4);
+  EXPECT_EQ(context.exits(), 4);
+}
+
+TEST(Parallel, WorkerContextSkippedOnInlineRuns) {
+  ThreadCountGuard guard(1);
+  CountingContext context;
+  par::set_worker_context(&context);
+  par::parallel_for(100, [](std::size_t, std::size_t, std::size_t) {});
+  par::set_worker_context(nullptr);
+  EXPECT_EQ(context.begins(), 0);
+  EXPECT_EQ(context.enters(), 0);
+}
+
+// ------------------------------------------------------------ profiler merge
+
+TEST(ParallelProfile, PerChunkRegistriesMergeIntoAttachedRegistry) {
+  ThreadCountGuard guard(4);
+  obs::ProfileRegistry registry;
+  obs::set_profile(&registry);
+  par::parallel_for(8, [](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i != end; ++i) {
+      // Workers resolve obs::profile() to their per-chunk registry.
+      obs::ScopedSpan span(obs::profile(), "parallel_test/work", "test");
+    }
+  });
+  obs::set_profile(nullptr);
+  ASSERT_EQ(registry.open_spans(), 0u);
+  const auto it = registry.by_name().find("parallel_test/work");
+  ASSERT_NE(it, registry.by_name().end());
+  EXPECT_EQ(it->second.count, 8u);
+  EXPECT_EQ(registry.by_category().at("test").count, 8u);
+  EXPECT_EQ(registry.spans_recorded(), 8u);
+}
+
+TEST(ParallelProfile, WorkersSeeNullRegistryWhenProfilingDisabled) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> non_null{0};
+  par::parallel_for(8, [&](std::size_t, std::size_t, std::size_t) {
+    if (obs::profile() != nullptr) non_null.fetch_add(1);
+  });
+  EXPECT_EQ(non_null.load(), 0);
+}
+
+TEST(ParallelProfile, MergeFromFoldsAggregatesAndShiftsSpanTimestamps) {
+  std::uint64_t now_a = 1000;
+  obs::ProfileRegistry a;
+  a.set_clock([&] { return now_a; });  // origin 1000
+  {
+    obs::ScopedSpan span(&a, "x", "cat");
+    now_a = 1500;
+  }  // recorded on a's timeline as [0, 500)
+
+  std::uint64_t now_b = 5000;
+  obs::ProfileRegistry b;
+  b.set_clock([&] { return now_b; });  // origin 5000
+  {
+    obs::ScopedSpan span(&b, "x", "cat");
+    now_b = 5200;
+  }  // recorded on b's timeline as [0, 200)
+
+  a.merge_from(b);
+  EXPECT_EQ(a.by_name().at("x").count, 2u);
+  EXPECT_EQ(a.by_name().at("x").total_ns, 700u);
+  EXPECT_EQ(a.by_name().at("x").max_ns, 500u);
+  EXPECT_EQ(a.by_category().at("cat").count, 2u);
+  ASSERT_EQ(a.spans().size(), 2u);
+  // b's span lands on a's timeline shifted by the origin delta (4000).
+  EXPECT_EQ(a.spans()[1].begin_ns, 4000u);
+  EXPECT_EQ(a.spans()[1].end_ns, 4200u);
+  EXPECT_EQ(a.spans_recorded(), 2u);
+}
+
+// --------------------------------------------------------- eval determinism
+
+void expect_same_avoid(const eval::AvoidAsResult& s,
+                       const eval::AvoidAsResult& p) {
+  EXPECT_EQ(s.profile, p.profile);
+  EXPECT_EQ(s.tuples, p.tuples);
+  EXPECT_EQ(s.single_rate, p.single_rate);
+  EXPECT_EQ(s.source_rate, p.source_rate);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.multi_rate[i], p.multi_rate[i]);
+  ASSERT_EQ(s.state_rows.size(), p.state_rows.size());
+  for (std::size_t i = 0; i < s.state_rows.size(); ++i) {
+    EXPECT_EQ(s.state_rows[i].tuples, p.state_rows[i].tuples);
+    EXPECT_EQ(s.state_rows[i].success_rate, p.state_rows[i].success_rate);
+    EXPECT_EQ(s.state_rows[i].avg_ases_contacted,
+              p.state_rows[i].avg_ases_contacted);
+    EXPECT_EQ(s.state_rows[i].avg_paths_received,
+              p.state_rows[i].avg_paths_received);
+  }
+}
+
+/// Runs the eval pipelines serially and at four threads — including plan
+/// construction, whose tree solves are themselves parallel — and requires
+/// bit-identical results, both field-by-field and as printed bytes.
+void check_determinism(const eval::EvalConfig& config) {
+  par::set_thread_count(1);
+  const eval::ExperimentPlan serial_plan(config);
+  const eval::AvoidAsResult serial_avoid = run_avoid_as(serial_plan);
+  const eval::DiversityResult serial_div = run_path_diversity(serial_plan);
+  const eval::DeploymentResult serial_dep =
+      run_incremental_deployment(serial_plan);
+
+  par::set_thread_count(4);
+  const eval::ExperimentPlan parallel_plan(config);
+  const eval::AvoidAsResult parallel_avoid = run_avoid_as(parallel_plan);
+  const eval::DiversityResult parallel_div = run_path_diversity(parallel_plan);
+  const eval::DeploymentResult parallel_dep =
+      run_incremental_deployment(parallel_plan);
+  par::set_thread_count(0);
+
+  // Plan construction solved the same trees.
+  ASSERT_EQ(serial_plan.trees().size(), parallel_plan.trees().size());
+  for (std::size_t t = 0; t < serial_plan.trees().size(); ++t) {
+    const eval::RoutingTree& st = serial_plan.tree(t);
+    const eval::RoutingTree& pt = parallel_plan.tree(t);
+    ASSERT_EQ(st.destination(), pt.destination());
+    const auto nodes =
+        static_cast<eval::NodeId>(serial_plan.graph().node_count());
+    for (eval::NodeId n = 0; n < nodes; ++n) {
+      ASSERT_EQ(st.reachable(n), pt.reachable(n));
+      if (!st.reachable(n)) continue;
+      ASSERT_EQ(st.next_hop(n), pt.next_hop(n));
+      ASSERT_EQ(st.path_length(n), pt.path_length(n));
+    }
+  }
+
+  expect_same_avoid(serial_avoid, parallel_avoid);
+
+  ASSERT_EQ(serial_div.rows.size(), parallel_div.rows.size());
+  for (std::size_t i = 0; i < serial_div.rows.size(); ++i) {
+    EXPECT_EQ(serial_div.rows[i].pairs, parallel_div.rows[i].pairs);
+    EXPECT_EQ(serial_div.rows[i].fraction_zero,
+              parallel_div.rows[i].fraction_zero);
+    EXPECT_EQ(serial_div.rows[i].p50, parallel_div.rows[i].p50);
+    EXPECT_EQ(serial_div.rows[i].p90, parallel_div.rows[i].p90);
+    EXPECT_EQ(serial_div.rows[i].mean, parallel_div.rows[i].mean);
+    EXPECT_EQ(serial_div.rows[i].max, parallel_div.rows[i].max);
+  }
+
+  ASSERT_EQ(serial_dep.points.size(), parallel_dep.points.size());
+  for (std::size_t i = 0; i < serial_dep.points.size(); ++i) {
+    EXPECT_EQ(serial_dep.points[i].fraction, parallel_dep.points[i].fraction);
+    for (int j = 0; j < 3; ++j)
+      EXPECT_EQ(serial_dep.points[i].relative_gain[j],
+                parallel_dep.points[i].relative_gain[j]);
+    EXPECT_EQ(serial_dep.points[i].low_degree_first_gain,
+              parallel_dep.points[i].low_degree_first_gain);
+  }
+
+  // The printed reproduction tables — what --json snapshots are built
+  // from — must be byte-identical.
+  std::ostringstream serial_text, parallel_text;
+  print_table_5_2(serial_avoid, serial_text);
+  print_table_5_3(serial_avoid, serial_text);
+  print(serial_div, serial_text);
+  print(serial_dep, serial_text);
+  print_table_5_2(parallel_avoid, parallel_text);
+  print_table_5_3(parallel_avoid, parallel_text);
+  print(parallel_div, parallel_text);
+  print(parallel_dep, parallel_text);
+  EXPECT_EQ(serial_text.str(), parallel_text.str());
+}
+
+TEST(EvalDeterminism, TinyProfileIdenticalAcrossThreadCounts) {
+  eval::EvalConfig config;
+  config.profile = "tiny";
+  config.destination_samples = 12;
+  config.sources_per_destination = 8;
+  config.seed = 3;
+  check_determinism(config);
+}
+
+TEST(EvalDeterminism, Gao2005ProfileIdenticalAcrossThreadCounts) {
+  eval::EvalConfig config;
+  config.profile = "gao2005";
+  config.scale = 0.1;
+  config.destination_samples = 6;
+  config.sources_per_destination = 4;
+  config.seed = 11;
+  check_determinism(config);
+}
+
+TEST(EvalDeterminism, StubPipelinesIdenticalAcrossThreadCounts) {
+  eval::EvalConfig config;
+  config.profile = "tiny";
+  config.destination_samples = 8;
+  config.sources_per_destination = 6;
+  config.seed = 5;
+
+  eval::TeComparisonConfig te;
+  te.stub_samples = 20;
+  eval::TrafficControlConfig tc;
+  tc.stub_samples = 20;
+
+  par::set_thread_count(1);
+  const eval::ExperimentPlan serial_plan(config);
+  const eval::TeComparisonResult serial_te =
+      run_te_comparison(serial_plan, te);
+  const eval::TrafficControlResult serial_tc =
+      run_traffic_control(serial_plan, tc);
+
+  par::set_thread_count(4);
+  const eval::ExperimentPlan parallel_plan(config);
+  const eval::TeComparisonResult parallel_te =
+      run_te_comparison(parallel_plan, te);
+  const eval::TrafficControlResult parallel_tc =
+      run_traffic_control(parallel_plan, tc);
+  par::set_thread_count(0);
+
+  std::ostringstream serial_text, parallel_text;
+  print(serial_te, serial_text);
+  print(serial_tc, serial_text);
+  print(parallel_te, parallel_text);
+  print(parallel_tc, parallel_text);
+  EXPECT_EQ(serial_text.str(), parallel_text.str());
+
+  EXPECT_EQ(serial_te.stubs, parallel_te.stubs);
+  ASSERT_EQ(serial_te.mechanisms.size(), parallel_te.mechanisms.size());
+  for (std::size_t i = 0; i < serial_te.mechanisms.size(); ++i) {
+    EXPECT_EQ(serial_te.mechanisms[i].median_moved,
+              parallel_te.mechanisms[i].median_moved);
+    EXPECT_EQ(serial_te.mechanisms[i].median_targeting_error,
+              parallel_te.mechanisms[i].median_targeting_error);
+  }
+  EXPECT_EQ(serial_tc.stubs_evaluated, parallel_tc.stubs_evaluated);
+  ASSERT_EQ(serial_tc.series.size(), parallel_tc.series.size());
+  for (std::size_t i = 0; i < serial_tc.series.size(); ++i) {
+    EXPECT_EQ(serial_tc.series[i].stub_fraction,
+              parallel_tc.series[i].stub_fraction);
+    EXPECT_EQ(serial_tc.series[i].median_best_move,
+              parallel_tc.series[i].median_best_move);
+  }
+  EXPECT_EQ(serial_tc.power_top_degree_fraction,
+            parallel_tc.power_top_degree_fraction);
+}
+
+}  // namespace
+}  // namespace miro
