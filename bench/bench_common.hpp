@@ -141,6 +141,21 @@ inline std::string take_json_flag(int& argc, char** argv) {
   return path;
 }
 
+/// Strictly parses a `--threads` value (matching the MIRO_THREADS
+/// validation in par::thread_count) and exits with usage status 2 on a
+/// non-numeric or non-positive value, so a typo never silently falls back
+/// to the automatic thread count.
+inline std::size_t parse_threads_value(const char* prog, const char* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr, "%s: --threads expects a positive integer, got '%s'\n",
+                 prog, value);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 /// Pulls `--threads <n>` out of argv (compacting it) and applies it via
 /// par::set_thread_count. Companion to take_json_flag for benches whose
 /// remaining flags are parsed by another layer.
@@ -152,8 +167,7 @@ inline void take_threads_flag(int& argc, char** argv) {
         std::fprintf(stderr, "%s: missing value for --threads\n", argv[0]);
         std::exit(2);
       }
-      par::set_thread_count(
-          static_cast<std::size_t>(std::atoll(argv[++i])));
+      par::set_thread_count(parse_threads_value(argv[0], argv[++i]));
     } else {
       argv[out++] = argv[i];
     }
@@ -194,7 +208,7 @@ struct BenchArgs {
       } else if (flag == "--seed") {
         args.config.seed = static_cast<std::uint64_t>(std::atoll(value()));
       } else if (flag == "--threads") {
-        par::set_thread_count(static_cast<std::size_t>(std::atoll(value())));
+        par::set_thread_count(parse_threads_value(argv[0], value()));
       } else if (flag == "--json") {
         args.json_path = value();
       } else {

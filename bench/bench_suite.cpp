@@ -97,7 +97,17 @@ SuiteArgs parse(int argc, char** argv) {
       args.sources = static_cast<std::size_t>(std::atoll(value()));
     else if (flag == "--seed")
       args.seed = static_cast<std::uint64_t>(std::atoll(value()));
-    else if (flag == "--threads") args.threads = std::atol(value());
+    else if (flag == "--threads") {
+      const char* text = value();
+      char* end = nullptr;
+      args.threads = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || args.threads <= 0) {
+        std::fprintf(stderr,
+                     "%s: --threads expects a positive integer, got '%s'\n",
+                     argv[0], text);
+        std::exit(2);
+      }
+    }
     else if (flag == "--profile") args.profile = value();
     else if (flag == "--skip") args.skip.insert(value());
     else if (flag == "--quick") {

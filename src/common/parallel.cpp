@@ -157,20 +157,30 @@ void parallel_for(
     const std::size_t end = begin + size;
     pool.submit([&state, &body, context, begin, end, chunk] {
       t_in_chunk = true;
-      if (context != nullptr) context->chunk_enter(chunk);
+      // Hooks share the body's catch: a throwing chunk_enter must not
+      // escape worker_loop or skip the remaining-count decrement below.
       try {
+        if (context != nullptr) context->chunk_enter(chunk);
         body(begin, end, chunk);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state.mutex);
         state.errors[chunk] = std::current_exception();
       }
-      if (context != nullptr) context->chunk_exit(chunk);
+      try {
+        if (context != nullptr) context->chunk_exit(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.errors[chunk]) state.errors[chunk] = std::current_exception();
+      }
       t_in_chunk = false;
+      // Notify while holding the mutex: once the final unlock happens the
+      // joining thread may return and destroy `state`, so the worker must
+      // not touch `state.done` after releasing the lock.
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         --state.remaining;
+        state.done.notify_one();
       }
-      state.done.notify_one();
     });
     begin = end;
   }

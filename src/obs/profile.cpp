@@ -31,6 +31,12 @@ thread_local ProfileRegistry* t_profile = nullptr;  ///< what profile() sees
 class ParallelProfileContext final : public par::WorkerContext {
  public:
   void region_begin(std::size_t chunks) override {
+    // Shared, unsynchronized state: only one top-level parallel region may
+    // run at a time while profiling is attached (see set_profile). Nested
+    // regions run inline and never reach these hooks.
+    require(!active_,
+            "profile: concurrent top-level parallel regions are not "
+            "supported while profiling is attached");
     active_ = g_profile != nullptr;
     if (!active_) return;
     registries_.clear();

@@ -158,6 +158,11 @@ class ScopedSpan {
 /// ownership and must detach (set_profile(nullptr)) before destroying it.
 /// Worker threads see the per-chunk registry the parallel layer installs
 /// for the duration of a chunk, and null otherwise.
+///
+/// While a registry is attached, top-level parallel regions must be entered
+/// from one thread at a time: the installed WorkerContext keeps shared
+/// per-region state, and concurrent regions would clobber each other's
+/// registries (enforced by a require() in region_begin).
 ProfileRegistry* profile();
 void set_profile(ProfileRegistry* registry);
 
