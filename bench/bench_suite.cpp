@@ -50,6 +50,7 @@ const BenchSpec kBenches[] = {
     {"bench_ablation_negotiation_scope", true},
     {"bench_inference_accuracy", true},
     {"bench_overhead_messages", true},
+    {"bench_churn_convergence", true},
 };
 
 struct SuiteArgs {

@@ -119,6 +119,7 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
     requester.export_metrics(*metrics, "requester");
     responder.export_metrics(*metrics, "responder");
     bus.export_metrics(*metrics, "bus");
+    plane.export_metrics(*metrics, "faults");
     metrics->gauge("sweep.drop_rate").set(drop);
     metrics->gauge("sweep.negotiations")
         .set(static_cast<double>(negotiations));

@@ -1,6 +1,7 @@
 #include "bgp/session_bgp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -9,11 +10,26 @@ namespace miro::bgp {
 SessionedBgpNetwork::SessionedBgpNetwork(const AsGraph& graph,
                                          NodeId destination,
                                          sim::Scheduler& scheduler,
-                                         sim::Time link_delay)
+                                         sim::Time link_delay,
+                                         ChurnDefenseConfig defense)
     : graph_(&graph), destination_(destination), scheduler_(&scheduler),
-      link_delay_(link_delay), speakers_(graph.node_count()) {
+      link_delay_(link_delay), defense_(defense),
+      speakers_(graph.node_count()) {
   require(destination < graph.node_count(),
           "SessionedBgpNetwork: destination out of range");
+  if (defense_.damping_enabled) {
+    require(defense_.damping_penalty > 0,
+            "SessionedBgpNetwork: damping_penalty must be > 0");
+    require(defense_.damping_reuse > 0,
+            "SessionedBgpNetwork: damping_reuse must be > 0");
+    require(defense_.damping_suppress > defense_.damping_reuse,
+            "SessionedBgpNetwork: damping_suppress must exceed damping_reuse");
+    require(defense_.damping_ceiling >= defense_.damping_suppress,
+            "SessionedBgpNetwork: damping_ceiling below damping_suppress");
+    require(defense_.damping_half_life > 0,
+            "SessionedBgpNetwork: damping_half_life must be > 0");
+  }
+  origins_.insert(destination_);
 }
 
 const Route& SessionedBgpNetwork::best(NodeId node) const {
@@ -30,8 +46,6 @@ std::vector<NodeId> SessionedBgpNetwork::path_of(NodeId node) const {
 void SessionedBgpNetwork::start() {
   require(!started_, "SessionedBgpNetwork::start: already started");
   started_ = true;
-  Speaker& origin = speakers_[destination_];
-  origin.best = Route{{destination_}, RouteClass::Self};
   reselect(destination_);  // announces to every neighbor
 }
 
@@ -42,22 +56,170 @@ void SessionedBgpNetwork::send(NodeId from, NodeId to,
   } else {
     ++stats_.updates_sent;
   }
+  ++messages_in_flight_;
   scheduler_->after(link_delay_, [this, from, to,
                                   path = std::move(path_at_sender)]() {
+    --messages_in_flight_;
     // A message in flight across a link that failed meanwhile is lost; the
     // session-down handling already flushed the receiver's state.
     if (!link_up(from, to)) return;
+    if (message_observer_) message_observer_(from, to, path);
     receive(to, from, path);
   });
+}
+
+void SessionedBgpNetwork::enqueue(NodeId from, NodeId to,
+                                  std::vector<NodeId> path_at_sender) {
+  if (defense_.mrai == 0) {
+    send(from, to, std::move(path_at_sender));
+    return;
+  }
+  SessionOut& out = speakers_[from].sessions[to];
+  if (!out.mrai_armed) {
+    out.last_sent = path_at_sender;
+    out.has_pending = false;
+    out.pending.clear();
+    send(from, to, std::move(path_at_sender));
+    arm_mrai(from, to);
+    return;
+  }
+  // Timer armed: the message parks. Superseding a queued message, or
+  // cancelling back to what the wire already carries, both elide a send.
+  if (out.has_pending) ++stats_.coalesced;
+  if (path_at_sender == out.last_sent) {
+    if (out.has_pending) --mrai_parked_;
+    out.has_pending = false;
+    out.pending.clear();
+    return;
+  }
+  if (!out.has_pending) ++mrai_parked_;
+  out.has_pending = true;
+  out.pending = std::move(path_at_sender);
+}
+
+void SessionedBgpNetwork::arm_mrai(NodeId from, NodeId to) {
+  SessionOut& out = speakers_[from].sessions[to];
+  out.mrai_armed = true;
+  out.timer = scheduler_->after(defense_.mrai, [this, from, to]() {
+    SessionOut& session = speakers_[from].sessions[to];
+    session.mrai_armed = false;
+    if (!session.has_pending) return;
+    std::vector<NodeId> path = std::move(session.pending);
+    session.pending.clear();
+    session.has_pending = false;
+    --mrai_parked_;
+    if (!link_up(from, to)) return;  // session died while parked
+    session.last_sent = path;
+    send(from, to, std::move(path));
+    arm_mrai(from, to);
+  });
+}
+
+void SessionedBgpNetwork::decay_penalty(DampingState& state,
+                                        sim::Time now) const {
+  if (now <= state.anchor) return;
+  state.penalty *= std::exp2(
+      -static_cast<double>(now - state.anchor) /
+      static_cast<double>(defense_.damping_half_life));
+  state.anchor = now;
+}
+
+bool SessionedBgpNetwork::penalize(NodeId node, NodeId from) {
+  DampingState& state = speakers_[node].damping[from];
+  const sim::Time now = scheduler_->now();
+  decay_penalty(state, now);
+  state.penalty =
+      std::min(state.penalty + defense_.damping_penalty,
+               defense_.damping_ceiling);
+  if (state.suppressed) {
+    // Extend the quarantine: the penalty grew, so the reuse point moved.
+    state.reuse_timer.cancel();
+    schedule_reuse(node, from);
+    return false;
+  }
+  if (state.penalty >= defense_.damping_suppress) {
+    state.suppressed = true;
+    ++stats_.routes_damped;
+    ++active_suppressions_;
+    schedule_reuse(node, from);
+    return true;
+  }
+  return false;
+}
+
+void SessionedBgpNetwork::schedule_reuse(NodeId node, NodeId from) {
+  DampingState& state = speakers_[node].damping[from];
+  const double ratio = state.penalty / defense_.damping_reuse;
+  const sim::Time dt =
+      ratio <= 1.0
+          ? 1
+          : static_cast<sim::Time>(
+                std::ceil(static_cast<double>(defense_.damping_half_life) *
+                          std::log2(ratio)));
+  state.reuse_timer =
+      scheduler_->after(std::max<sim::Time>(dt, 1), [this, node, from]() {
+        DampingState& s = speakers_[node].damping[from];
+        if (!s.suppressed) return;
+        decay_penalty(s, scheduler_->now());
+        if (s.penalty > defense_.damping_reuse) {
+          schedule_reuse(node, from);  // rounding guard; rarely taken
+          return;
+        }
+        s.suppressed = false;
+        --active_suppressions_;
+        reselect(node);
+      });
+}
+
+bool SessionedBgpNetwork::is_suppressed(NodeId node, NodeId from) const {
+  const auto& damping = speakers_[node].damping;
+  const auto it = damping.find(from);
+  return it != damping.end() && it->second.suppressed;
+}
+
+double SessionedBgpNetwork::damping_penalty_of(NodeId node,
+                                               NodeId from) const {
+  const auto& damping = speakers_[node].damping;
+  const auto it = damping.find(from);
+  if (it == damping.end()) return 0;
+  DampingState copy = it->second;
+  copy.reuse_timer = {};
+  decay_penalty(copy, scheduler_->now());
+  return copy.penalty;
 }
 
 void SessionedBgpNetwork::receive(NodeId node, NodeId from,
                                   std::vector<NodeId> path_at_sender) {
   Speaker& speaker = speakers_[node];
+  bool flap = false;
+  if (defense_.damping_enabled) {
+    const auto it = speaker.adj_in.find(from);
+    const bool had = it != speaker.adj_in.end();
+    if (path_at_sender.empty()) {
+      flap = had;  // withdrawal of a held route
+    } else if (had) {
+      flap = it->second != path_at_sender;  // attribute/path change
+    } else {
+      // Re-announcement after a withdrawal; the initial announcement of a
+      // never-seen route carries no penalty (RFC 2439 §4.4.2 shape).
+      const auto d = speaker.damping.find(from);
+      flap = d != speaker.damping.end() && d->second.was_known;
+    }
+  }
   if (path_at_sender.empty()) {
     speaker.adj_in.erase(from);
   } else {
     speaker.adj_in[from] = std::move(path_at_sender);
+    if (defense_.damping_enabled) speaker.damping[from].was_known = true;
+  }
+  if (flap) {
+    const bool just_suppressed = penalize(node, from);
+    if (!just_suppressed && speaker.damping[from].suppressed) {
+      // Absorbed: the pair is quarantined, nothing propagates.
+      ++stats_.updates_suppressed;
+      return;
+    }
+    // On the suppression edge fall through: one reselect expels the route.
   }
   reselect(node);
 }
@@ -67,11 +229,12 @@ void SessionedBgpNetwork::reselect(NodeId node) {
   ++stats_.selections;
 
   std::optional<Route> next;
-  if (node == destination_) {
-    next = Route{{destination_}, RouteClass::Self};
+  if (origins_.count(node) != 0) {
+    next = Route{{node}, RouteClass::Self};
   } else {
     for (const auto& [neighbor, path_at_sender] : speaker.adj_in) {
       if (!link_up(node, neighbor)) continue;
+      if (is_suppressed(node, neighbor)) continue;  // flap-damped
       // Implicit import policy: reject looping paths.
       if (std::find(path_at_sender.begin(), path_at_sender.end(), node) !=
           path_at_sender.end())
@@ -119,9 +282,9 @@ void SessionedBgpNetwork::reselect(NodeId node) {
     if (exportable) {
       const bool fresh_session =
           speaker.advertised_to.insert(n.node).second;
-      if (changed || fresh_session) send(node, n.node, speaker.best->path);
+      if (changed || fresh_session) enqueue(node, n.node, speaker.best->path);
     } else if (speaker.advertised_to.erase(n.node) > 0) {
-      send(node, n.node, {});  // withdraw
+      enqueue(node, n.node, {});  // withdraw
     }
   }
 }
@@ -129,12 +292,23 @@ void SessionedBgpNetwork::reselect(NodeId node) {
 void SessionedBgpNetwork::fail_link(NodeId a, NodeId b) {
   require(graph_->has_edge(a, b), "fail_link: no such link");
   if (!failed_links_.insert(link_key(a, b)).second) return;  // already down
-  // Session down: both sides flush what they learned over it and the
-  // Adj-RIB-Out presence bit, then re-run selection (which propagates any
-  // change as updates/withdrawals to the remaining neighbors).
+  // Session down: both sides flush what they learned over it, the
+  // Adj-RIB-Out presence bit, and any parked MRAI message, then re-run
+  // selection (which propagates any change as updates/withdrawals to the
+  // remaining neighbors). The implicit withdrawal of a held route counts as
+  // a flap for damping purposes, so a link that flaps up and down is
+  // eventually quarantined just like a flapping announcement.
   for (auto [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
-    speakers_[self].adj_in.erase(other);
-    speakers_[self].advertised_to.erase(other);
+    Speaker& speaker = speakers_[self];
+    const bool held = speaker.adj_in.erase(other) > 0;
+    speaker.advertised_to.erase(other);
+    const auto session = speaker.sessions.find(other);
+    if (session != speaker.sessions.end()) {
+      session->second.timer.cancel();
+      if (session->second.has_pending) --mrai_parked_;
+      speaker.sessions.erase(session);
+    }
+    if (defense_.damping_enabled && held) penalize(self, other);
     // Process asynchronously so failure handling interleaves with traffic.
     scheduler_->after(0, [this, self = self]() { reselect(self); });
   }
@@ -147,6 +321,55 @@ void SessionedBgpNetwork::restore_link(NodeId a, NodeId b) {
   for (auto [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
     scheduler_->after(0, [this, self = self]() { reselect(self); });
   }
+}
+
+void SessionedBgpNetwork::withdraw_prefix() {
+  require(started_, "withdraw_prefix: network not started");
+  if (origins_.erase(destination_) == 0) return;
+  reselect(destination_);
+}
+
+void SessionedBgpNetwork::announce_prefix() {
+  require(started_, "announce_prefix: network not started");
+  if (!origins_.insert(destination_).second) return;
+  reselect(destination_);
+}
+
+void SessionedBgpNetwork::start_hijack(NodeId node) {
+  require(started_, "start_hijack: network not started");
+  require(node < graph_->node_count(), "start_hijack: node out of range");
+  require(node != destination_,
+          "start_hijack: the origin cannot hijack its own prefix");
+  if (!origins_.insert(node).second) return;
+  reselect(node);
+}
+
+void SessionedBgpNetwork::end_hijack(NodeId node) {
+  require(node != destination_, "end_hijack: not a hijacker");
+  if (origins_.erase(node) == 0) return;
+  reselect(node);
+}
+
+std::vector<std::pair<NodeId, NodeId>> SessionedBgpNetwork::failed_links()
+    const {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  links.reserve(failed_links_.size());
+  for (const std::uint64_t key : failed_links_) {
+    links.emplace_back(static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xffffffffu));
+  }
+  return links;
+}
+
+void SessionedBgpNetwork::export_metrics(obs::MetricsRegistry& registry,
+                                         const std::string& prefix) const {
+  registry.counter(prefix + ".updates_sent").set(stats_.updates_sent);
+  registry.counter(prefix + ".withdrawals_sent").set(stats_.withdrawals_sent);
+  registry.counter(prefix + ".selections").set(stats_.selections);
+  registry.counter(prefix + ".coalesced").set(stats_.coalesced);
+  registry.counter(prefix + ".updates_suppressed")
+      .set(stats_.updates_suppressed);
+  registry.counter(prefix + ".routes_damped").set(stats_.routes_damped);
 }
 
 }  // namespace miro::bgp

@@ -12,6 +12,21 @@
 // reacts to ("The ASes can observe these changes in the BGP update messages
 // or session failures", §4.3). The converged result provably equals
 // StableRouteSolver's under conventional policies (tested).
+//
+// Two graceful-degradation mechanisms defend the network against sustained
+// churn (both off by default, see ChurnDefenseConfig):
+//   - MRAI-style outbound coalescing: per-session minimum advertisement
+//     interval; while the timer runs, newer outbound messages supersede the
+//     queued one, so a rapid A->B->A flap costs zero wire messages.
+//   - RFC 2439-era route flap damping at the receiver: a per-(neighbor,
+//     route) penalty with exponential decay; above the suppress threshold
+//     the neighbor's route is quarantined (kept in Adj-RIB-In but excluded
+//     from selection and propagation) until the penalty decays below the
+//     reuse threshold.
+//
+// Beyond link failure, the prefix origin itself can churn: the origin can
+// withdraw and re-announce its prefix, and any other AS can start announcing
+// the same prefix (a hijack) — the event taxonomy src/churn replays.
 #pragma once
 
 #include <functional>
@@ -22,14 +37,33 @@
 
 #include "bgp/route.hpp"
 #include "netsim/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 namespace miro::bgp {
 
+/// Tunables for the churn-defense mechanisms. The default-constructed config
+/// disables both, reproducing the classic eager-propagation behaviour.
+struct ChurnDefenseConfig {
+  /// Minimum advertisement interval per session, in ticks; 0 disables MRAI
+  /// coalescing (every change is sent immediately).
+  sim::Time mrai = 0;
+
+  /// Enables receiver-side route flap damping with the parameters below.
+  bool damping_enabled = false;
+  double damping_penalty = 1000.0;    ///< added per flap (withdraw, change)
+  double damping_suppress = 3000.0;   ///< suppress when penalty reaches this
+  double damping_reuse = 1500.0;      ///< reuse when penalty decays to this
+  double damping_ceiling = 8000.0;    ///< penalty never exceeds this
+  sim::Time damping_half_life = 600;  ///< ticks for the penalty to halve
+};
+
 class SessionedBgpNetwork {
  public:
-  /// Builds the speakers; nothing is announced until start().
+  /// Builds the speakers; nothing is announced until start(). The defense
+  /// config is validated here (thresholds ordered, half-life positive).
   SessionedBgpNetwork(const AsGraph& graph, NodeId destination,
-                      sim::Scheduler& scheduler, sim::Time link_delay = 10);
+                      sim::Scheduler& scheduler, sim::Time link_delay = 10,
+                      ChurnDefenseConfig defense = {});
 
   /// The origin announces its prefix to all neighbors.
   void start();
@@ -41,9 +75,24 @@ class SessionedBgpNetwork {
   /// (the "entire table" retransmission of a fresh session).
   void restore_link(NodeId a, NodeId b);
 
+  /// The origin stops announcing its prefix: neighbors receive withdrawals
+  /// and the route drains network-wide. No-op while already withdrawn.
+  void withdraw_prefix();
+  /// The origin re-announces after withdraw_prefix(). No-op while announced.
+  void announce_prefix();
+
+  /// `node` starts originating the destination's prefix alongside (or, with
+  /// the true origin withdrawn, instead of) the legitimate origin — the
+  /// hijack-and-recover scenario. Paths learned from the hijacker end at
+  /// `node` rather than at the destination.
+  void start_hijack(NodeId node);
+  /// The hijacker withdraws; the network reconverges to the true origin.
+  void end_hijack(NodeId node);
+
   bool has_route(NodeId node) const { return speakers_[node].best.has_value(); }
   const Route& best(NodeId node) const;
-  /// Full best path [node..destination]; empty when unreachable.
+  /// Full best path [node..origin]; empty when unreachable. During a hijack
+  /// the path may end at the hijacker instead of the destination.
   std::vector<NodeId> path_of(NodeId node) const;
 
   /// Observer invoked (synchronously, during event processing) whenever a
@@ -54,17 +103,103 @@ class SessionedBgpNetwork {
     observer_ = std::move(observer);
   }
 
+  /// Observer invoked at the instant an UPDATE (path non-empty) or WITHDRAW
+  /// (path empty) is actually delivered to `to` — the ground truth a shadow
+  /// Adj-RIB-In (churn::InvariantChecker) reconstructs. Messages lost to a
+  /// link that failed while they were in flight are not observed.
+  using MessageObserver = std::function<void(
+      NodeId from, NodeId to, const std::vector<NodeId>& path_at_sender)>;
+  void set_message_observer(MessageObserver observer) {
+    message_observer_ = std::move(observer);
+  }
+
   struct Stats {
     std::size_t updates_sent = 0;
     std::size_t withdrawals_sent = 0;
     std::size_t selections = 0;
+    /// Outbound messages that never hit the wire because a newer message
+    /// superseded them inside an MRAI window.
+    std::size_t coalesced = 0;
+    /// Inbound updates/withdrawals absorbed without propagation because the
+    /// (neighbor, route) was suppressed by flap damping.
+    std::size_t updates_suppressed = 0;
+    /// Times a (neighbor, route) crossed the suppress threshold.
+    std::size_t routes_damped = 0;
   };
   const Stats& stats() const { return stats_; }
 
+  /// Snapshots the stats into `registry` as counters named
+  /// `<prefix>.updates_sent`, `<prefix>.coalesced`, ... (values overwritten
+  /// on repeated calls, next to the bus/agent counters).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "bgp") const;
+
   NodeId destination() const { return destination_; }
   const AsGraph& graph() const { return *graph_; }
+  const ChurnDefenseConfig& defense() const { return defense_; }
+
+  // --- Inspection surface (invariant checker, tests) ---------------------
+
+  /// The Adj-RIB-In of one speaker: neighbor -> path last advertised by it.
+  const std::unordered_map<NodeId, std::vector<NodeId>>& adj_in_of(
+      NodeId node) const {
+    return speakers_[node].adj_in;
+  }
+  /// Which neighbors currently hold (or, under MRAI, are scheduled to hold)
+  /// this speaker's route.
+  const std::set<NodeId>& advertised_to_of(NodeId node) const {
+    return speakers_[node].advertised_to;
+  }
+  bool link_is_up(NodeId a, NodeId b) const { return link_up(a, b); }
+  /// Currently failed links, each as an (a, b) pair with a < b.
+  std::vector<std::pair<NodeId, NodeId>> failed_links() const;
+  /// The ASes currently originating the prefix (the destination, unless
+  /// withdrawn, plus any active hijackers).
+  const std::set<NodeId>& origins() const { return origins_; }
+  bool prefix_announced() const { return origins_.count(destination_) != 0; }
+  bool hijack_active() const {
+    return origins_.size() > (prefix_announced() ? 1u : 0u);
+  }
+  /// True when damping currently quarantines what `from` advertises to
+  /// `node`.
+  bool is_suppressed(NodeId node, NodeId from) const;
+  /// The damping penalty decayed to the current simulation time; 0 when
+  /// damping is disabled or the pair has no history.
+  double damping_penalty_of(NodeId node, NodeId from) const;
+
+  /// UPDATE/WITHDRAW copies scheduled but not yet delivered (or lost).
+  std::size_t messages_in_flight() const { return messages_in_flight_; }
+  /// Outbound messages currently parked behind an MRAI timer.
+  std::size_t mrai_parked() const { return mrai_parked_; }
+  /// (neighbor, route) pairs currently quarantined by flap damping.
+  std::size_t active_suppressions() const { return active_suppressions_; }
+  /// Transit-quiet: nothing in flight and nothing parked, so every
+  /// speaker's Adj-RIB-In agrees with what its neighbors last exported —
+  /// the precondition for the strong churn invariants (loop-freedom,
+  /// solver agreement).
+  bool transit_quiet() const {
+    return messages_in_flight_ == 0 && mrai_parked_ == 0;
+  }
 
  private:
+  /// Per-session outbound state for MRAI coalescing.
+  struct SessionOut {
+    bool mrai_armed = false;  ///< timer pending; messages queue, not send
+    bool has_pending = false;
+    std::vector<NodeId> pending;    ///< empty = withdraw
+    std::vector<NodeId> last_sent;  ///< wire truth (empty = withdrawn/none)
+    sim::Scheduler::TimerToken timer;
+  };
+
+  /// Per-(neighbor, route) flap-damping state (RFC 2439 shape).
+  struct DampingState {
+    double penalty = 0;
+    sim::Time anchor = 0;    ///< time the penalty was last materialized
+    bool suppressed = false;
+    bool was_known = false;  ///< the neighbor has advertised at least once
+    sim::Scheduler::TimerToken reuse_timer;
+  };
+
   struct Speaker {
     /// Adj-RIB-In: the route each neighbor last advertised (as a path at
     /// that neighbor, before local prepend/classification).
@@ -72,6 +207,8 @@ class SessionedBgpNetwork {
     /// Adj-RIB-Out presence: which neighbors currently hold our route.
     std::set<NodeId> advertised_to;
     std::optional<Route> best;
+    std::unordered_map<NodeId, SessionOut> sessions;
+    std::unordered_map<NodeId, DampingState> damping;
   };
 
   static std::uint64_t link_key(NodeId a, NodeId b) {
@@ -85,18 +222,36 @@ class SessionedBgpNetwork {
   /// Delivers an UPDATE (path non-empty) or WITHDRAW (path empty) from
   /// `from` to `to` after the link delay.
   void send(NodeId from, NodeId to, std::vector<NodeId> path_at_sender);
+  /// MRAI layer in front of send(): immediate when disabled or the session
+  /// timer is idle; otherwise the message parks (superseding any queued one)
+  /// until the timer fires.
+  void enqueue(NodeId from, NodeId to, std::vector<NodeId> path_at_sender);
+  void arm_mrai(NodeId from, NodeId to);
   void receive(NodeId node, NodeId from, std::vector<NodeId> path_at_sender);
   /// Re-selects at `node`; on change, propagates updates/withdrawals.
   void reselect(NodeId node);
+
+  /// Decays `state`'s penalty to `now` (exponential, damping_half_life).
+  void decay_penalty(DampingState& state, sim::Time now) const;
+  /// Books one flap against (node, from); returns true when the pair just
+  /// crossed into suppression.
+  bool penalize(NodeId node, NodeId from);
+  void schedule_reuse(NodeId node, NodeId from);
 
   const AsGraph* graph_;
   NodeId destination_;
   sim::Scheduler* scheduler_;
   sim::Time link_delay_;
+  ChurnDefenseConfig defense_;
   std::vector<Speaker> speakers_;
   std::set<std::uint64_t> failed_links_;
+  std::set<NodeId> origins_;
   RouteChangeObserver observer_;
+  MessageObserver message_observer_;
   Stats stats_;
+  std::size_t messages_in_flight_ = 0;
+  std::size_t mrai_parked_ = 0;
+  std::size_t active_suppressions_ = 0;
   bool started_ = false;
 };
 

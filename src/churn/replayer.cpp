@@ -1,0 +1,155 @@
+#include "churn/replayer.hpp"
+
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace miro::churn {
+
+namespace {
+
+void apply_event(bgp::SessionedBgpNetwork& network, InvariantChecker& checker,
+                 const ChurnEvent& event) {
+  switch (event.kind) {
+    case ChurnEventKind::LinkDown:
+      network.fail_link(event.a, event.b);
+      checker.on_session_flush(event.a, event.b);
+      break;
+    case ChurnEventKind::LinkUp:
+      network.restore_link(event.a, event.b);
+      break;
+    case ChurnEventKind::SessionReset:
+      network.fail_link(event.a, event.b);
+      checker.on_session_flush(event.a, event.b);
+      network.restore_link(event.a, event.b);
+      break;
+    case ChurnEventKind::PrefixWithdraw:
+      network.withdraw_prefix();
+      break;
+    case ChurnEventKind::PrefixAnnounce:
+      network.announce_prefix();
+      break;
+    case ChurnEventKind::HijackStart:
+      network.start_hijack(event.a);
+      break;
+    case ChurnEventKind::HijackEnd:
+      network.end_hijack(event.a);
+      break;
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
+                          const ReplayConfig& config) {
+  trace.validate(graph);
+
+  sim::Scheduler scheduler;
+  bgp::SessionedBgpNetwork network(graph, trace.destination, scheduler,
+                                   config.link_delay, config.defense);
+  ReplayResult result;
+
+  core::TunnelMonitor monitor;
+  for (const auto& tunnel : config.tunnels) monitor.watch(tunnel);
+  if (!config.tunnels.empty()) {
+    network.set_observer([&](NodeId node,
+                             const std::optional<bgp::Route>& best) {
+      std::optional<std::vector<NodeId>> path;
+      if (best) path = best->path;
+      result.tunnels_torn +=
+          monitor.on_downstream_change(node, trace.destination, path).size();
+    });
+  }
+  InvariantChecker checker(network, config.tunnel_hold_down,
+                           config.tunnels.empty() ? nullptr : &monitor);
+
+  constexpr sim::Time kNever = std::numeric_limits<sim::Time>::max();
+  sim::Time next_checkpoint =
+      config.checkpoint_interval == 0 ? kNever : config.checkpoint_interval;
+
+  // Burst accounting. The run opens with the initial-convergence burst
+  // (start(), no trace witness); every later burst opens with a trace event.
+  bool burst_open = true;
+  ConvergenceSample sample;
+  sample.first_event = InvariantChecker::kNoEvent;
+  std::size_t messages_at_start = 0;
+  const auto messages_now = [&] {
+    return network.stats().updates_sent + network.stats().withdrawals_sent;
+  };
+
+  const auto close_burst_if_quiet = [&] {
+    if (!burst_open || !network.transit_quiet()) return;
+    burst_open = false;
+    if (sample.first_event == InvariantChecker::kNoEvent) {
+      result.initial_convergence = scheduler.now();
+      return;
+    }
+    sample.settled = scheduler.now();
+    sample.messages = messages_now() - messages_at_start;
+    result.convergence.push_back(sample);
+  };
+
+  // Runs the scheduler up to `target`, interleaving protocol events with
+  // checkpoint marks in time order (events at a tick fire before the
+  // checkpoint that inspects that tick) and watching for quiescence after
+  // every protocol step so settle times are exact.
+  const auto drive_to = [&](sim::Time target) {
+    for (;;) {
+      const std::optional<sim::Time> next = scheduler.next_event_within(target);
+      const bool checkpoint_due = next_checkpoint <= target;
+      if (next && (!checkpoint_due || *next <= next_checkpoint)) {
+        result.scheduler_events += scheduler.run_until(*next);
+        if (result.scheduler_events > config.max_scheduler_events) {
+          throw Error("replay_churn: scheduler event budget exhausted "
+                      "(runaway churn reaction?)");
+        }
+        close_burst_if_quiet();
+        continue;
+      }
+      if (checkpoint_due) {
+        result.scheduler_events += scheduler.run_until(next_checkpoint);
+        checker.check(scheduler.now());
+        next_checkpoint += config.checkpoint_interval;
+        continue;
+      }
+      result.scheduler_events += scheduler.run_until(target);
+      return;
+    }
+  };
+
+  network.start();
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const ChurnEvent& event = trace.events[i];
+    drive_to(event.time);
+    checker.note_event(i);
+    if (!burst_open) {
+      burst_open = true;
+      sample = {};
+      sample.first_event = i;
+      sample.start = event.time;
+      messages_at_start = messages_now();
+    }
+    sample.last_event = i;
+    apply_event(network, checker, event);
+  }
+
+  // Drain everything left (reconvergence, MRAI windows, damping reuse
+  // timers), still firing interim checkpoints while events remain.
+  while (const std::optional<sim::Time> next =
+             scheduler.next_event_within(kNever)) {
+    drive_to(*next);
+  }
+  close_burst_if_quiet();
+  checker.final_check(scheduler.now());
+
+  result.bgp = network.stats();
+  result.violations = checker.violations();
+  result.checker = checker.stats();
+  result.final_time = scheduler.now();
+  return result;
+}
+
+}  // namespace miro::churn

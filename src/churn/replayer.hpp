@@ -1,0 +1,78 @@
+// Deterministic churn replay over the sessioned BGP + tunnel plane.
+//
+// The replayer drives one SessionedBgpNetwork through a ChurnTrace on a
+// private scheduler: trace events are applied from the outside at their
+// scripted times (never pre-scheduled into the event queue, so the protocol's
+// own timer arithmetic is undisturbed), the invariant checker runs at a
+// configurable checkpoint cadence, and every burst of churn is timed from
+// its first event to the first transit-quiet instant after it — the
+// convergence samples the churn benches aggregate into distributions.
+//
+// Everything is pure simulation state driven by the trace and the seeds, so
+// the same trace and config reproduce the identical result bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/session_bgp.hpp"
+#include "churn/churn_trace.hpp"
+#include "churn/invariant_checker.hpp"
+#include "core/tunnel_monitor.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace miro::churn {
+
+struct ReplayConfig {
+  sim::Time link_delay = 10;
+  /// MRAI / flap-damping knobs handed to the network (defaults: both off).
+  bgp::ChurnDefenseConfig defense;
+  /// Invariant checkpoint cadence in ticks; 0 restricts checkpoints to the
+  /// final post-drain check.
+  sim::Time checkpoint_interval = 200;
+  /// Grace period a watched tunnel may outlive its underlying route.
+  sim::Time tunnel_hold_down = 200;
+  /// Tunnels to watch: wired to a TunnelMonitor fed by the route observer,
+  /// and audited by the checker's hold-down invariant.
+  std::vector<core::TunnelMonitor::WatchedTunnel> tunnels;
+  /// Runaway guard over the whole replay (damping misconfiguration could
+  /// otherwise oscillate forever).
+  std::size_t max_scheduler_events = 20'000'000;
+};
+
+/// One churn burst timed to quiescence. A burst opens at the first trace
+/// event after a quiet period and absorbs every further event applied before
+/// the network next goes transit-quiet.
+struct ConvergenceSample {
+  std::size_t first_event = 0;  ///< trace index opening the burst
+  std::size_t last_event = 0;   ///< last trace index folded into it
+  sim::Time start = 0;          ///< sim time of the opening event
+  sim::Time settled = 0;        ///< first transit-quiet instant after it
+  /// UPDATE/WITHDRAW messages put on the wire during the burst.
+  std::size_t messages = 0;
+
+  sim::Time duration() const { return settled - start; }
+};
+
+struct ReplayResult {
+  bgp::SessionedBgpNetwork::Stats bgp;
+  std::vector<ConvergenceSample> convergence;
+  std::vector<ChurnViolation> violations;
+  CheckerStats checker;
+  /// Ticks from start() to the first transit-quiet instant (before any
+  /// trace event fired).
+  sim::Time initial_convergence = 0;
+  sim::Time final_time = 0;            ///< sim time when fully drained
+  std::size_t scheduler_events = 0;    ///< events fired over the replay
+  std::size_t tunnels_torn = 0;        ///< monitor teardowns (route changes)
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Replays `trace` (validated against `graph` first) and returns the full
+/// accounting. Throws miro::Error on an invalid trace or a blown event
+/// budget.
+ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
+                          const ReplayConfig& config = {});
+
+}  // namespace miro::churn

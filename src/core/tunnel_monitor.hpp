@@ -57,6 +57,12 @@ class TunnelMonitor {
 
   std::size_t watched_count() const { return watched_.size(); }
 
+  /// Read-only view of everything currently watched, in watch order. The
+  /// churn invariant checker audits this against the live routing state
+  /// (no watched tunnel may outlive its underlying route past the
+  /// hold-down).
+  const std::vector<WatchedTunnel>& watched() const { return watched_; }
+
   /// The upstream's route toward `responder` changed (prefix = responder's
   /// address space). Returns the tunnels torn down by this event.
   std::vector<WatchedTunnel> on_carrier_change(

@@ -1,8 +1,49 @@
 #include "netsim/fault_injection.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
 namespace miro::sim {
 
+namespace {
+
+void validate_profile(const LinkFaultProfile& profile,
+                      const std::string& link_name) {
+  // NaN fails every comparison, so express the checks as "must be inside
+  // the closed interval" and reject anything that is not.
+  const bool drop_ok = profile.drop >= 0.0 && profile.drop <= 1.0;
+  const bool duplicate_ok =
+      profile.duplicate >= 0.0 && profile.duplicate <= 1.0;
+  if (!drop_ok) {
+    throw Error("LinkFaultProfile for " + link_name + ": drop must be in "
+                "[0, 1], got " + std::to_string(profile.drop));
+  }
+  if (!duplicate_ok) {
+    throw Error("LinkFaultProfile for " + link_name + ": duplicate must be "
+                "in [0, 1], got " + std::to_string(profile.duplicate));
+  }
+  // jitter_max is unsigned, so "jitter_max >= 0" holds by construction; a
+  // negative literal would already fail to convert at the call site.
+}
+
+}  // namespace
+
 FaultPlane::FaultPlane(std::uint64_t seed) : rng_(seed) {}
+
+void FaultPlane::set_default_profile(const LinkFaultProfile& profile) {
+  validate_profile(profile, "default link");
+  default_profile_ = profile;
+}
+
+void FaultPlane::set_link_profile(EndpointId a, EndpointId b,
+                                  const LinkFaultProfile& profile) {
+  validate_profile(profile, "link " + std::to_string(a) + "-" +
+                                std::to_string(b));
+  profiles_[key(a, b)] = profile;
+}
 
 const LinkFaultProfile& FaultPlane::profile_of(EndpointId a,
                                                EndpointId b) const {
@@ -10,7 +51,7 @@ const LinkFaultProfile& FaultPlane::profile_of(EndpointId a,
   return it == profiles_.end() ? default_profile_ : it->second;
 }
 
-std::vector<Time> FaultPlane::plan(EndpointId from, EndpointId to) {
+std::vector<Time> FaultPlane::plan(EndpointId from, EndpointId to, Time now) {
   const LinkFaultProfile& profile = profile_of(from, to);
   Counters& link = per_link_[key(from, to)];
   ++totals_.sent;
@@ -31,6 +72,21 @@ std::vector<Time> FaultPlane::plan(EndpointId from, EndpointId to) {
                          ? 0
                          : rng_.next_below(profile.jitter_max + 1));
   }
+  // Reorder accounting: a copy arriving before the latest previously
+  // planned arrival on this directed flow overtakes an earlier send.
+  const std::uint64_t flow = directed_key(from, to);
+  const auto it = last_arrival_.find(flow);
+  Time latest = it == last_arrival_.end() ? 0 : it->second;
+  const bool seen = it != last_arrival_.end();
+  for (const Time extra : copies) {
+    const Time arrival = now + extra;
+    if (seen && arrival < latest) {
+      ++totals_.reordered;
+      ++link.reordered;
+    }
+    latest = std::max(latest, arrival);
+  }
+  last_arrival_[flow] = latest;
   return copies;
 }
 
@@ -43,6 +99,15 @@ FaultPlane::Counters FaultPlane::link_counters(EndpointId a,
                                                EndpointId b) const {
   auto it = per_link_.find(key(a, b));
   return it == per_link_.end() ? Counters{} : it->second;
+}
+
+void FaultPlane::export_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + ".sent").set(totals_.sent);
+  registry.counter(prefix + ".dropped").set(totals_.dropped);
+  registry.counter(prefix + ".duplicated").set(totals_.duplicated);
+  registry.counter(prefix + ".delivered").set(totals_.delivered);
+  registry.counter(prefix + ".reordered").set(totals_.reordered);
 }
 
 }  // namespace miro::sim

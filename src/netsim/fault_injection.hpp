@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "netsim/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 namespace miro::sim {
 
@@ -27,6 +29,8 @@ namespace miro::sim {
 using EndpointId = std::uint32_t;
 
 /// Per-link fault regime. The zero-initialized profile is a perfect link.
+/// Probabilities must be in [0, 1]; the plane validates on set (a NaN or
+/// out-of-range value would silently corrupt a whole chaos run).
 struct LinkFaultProfile {
   double drop = 0.0;       ///< per-message loss probability
   double duplicate = 0.0;  ///< probability a surviving message is doubled
@@ -38,23 +42,26 @@ class FaultPlane {
  public:
   explicit FaultPlane(std::uint64_t seed = 0xc4a05u);
 
-  /// Fault regime for links without an explicit profile.
-  void set_default_profile(const LinkFaultProfile& profile) {
-    default_profile_ = profile;
-  }
+  /// Fault regime for links without an explicit profile. Throws on a
+  /// profile with probabilities outside [0, 1] (including NaN).
+  void set_default_profile(const LinkFaultProfile& profile);
 
-  /// Fault regime for one (symmetric) link, overriding the default.
+  /// Fault regime for one (symmetric) link, overriding the default. Throws
+  /// on an invalid profile, naming the offending link.
   void set_link_profile(EndpointId a, EndpointId b,
-                        const LinkFaultProfile& profile) {
-    profiles_[key(a, b)] = profile;
-  }
+                        const LinkFaultProfile& profile);
 
   const LinkFaultProfile& profile_of(EndpointId a, EndpointId b) const;
 
   /// Decides the fate of one message on the a->b link: the returned vector
   /// holds one extra-delay entry per copy to deliver (empty = dropped).
-  /// Advances the Rng and the sent/dropped/duplicated counters.
-  std::vector<Time> plan(EndpointId from, EndpointId to);
+  /// Advances the Rng and the sent/dropped/duplicated counters. `now` is
+  /// the send time; with it the plane books a `reordered` count for every
+  /// copy whose jittered arrival (now + extra) undercuts a previously
+  /// planned arrival on the same directed link — delivery inverting send
+  /// order. (The bus's fixed per-link propagation delay shifts every copy
+  /// equally, so it cancels out of the comparison.)
+  std::vector<Time> plan(EndpointId from, EndpointId to, Time now = 0);
 
   /// Books a copy that actually reached an attached handler.
   void note_delivered(EndpointId from, EndpointId to);
@@ -64,6 +71,8 @@ class FaultPlane {
     std::uint64_t dropped = 0;     ///< messages the plane discarded
     std::uint64_t duplicated = 0;  ///< messages delivered as two copies
     std::uint64_t delivered = 0;   ///< copies that reached a handler
+    std::uint64_t reordered = 0;   ///< copies planned to overtake an
+                                   ///< earlier send on the same link
   };
 
   const Counters& totals() const { return totals_; }
@@ -71,11 +80,21 @@ class FaultPlane {
   /// Counters for one link; a zero struct when the link saw no traffic.
   Counters link_counters(EndpointId a, EndpointId b) const;
 
+  /// Snapshots the global counters into `registry` as `<prefix>.sent`,
+  /// `<prefix>.dropped`, `<prefix>.duplicated`, `<prefix>.delivered`,
+  /// `<prefix>.reordered` (values overwritten on repeated calls).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "faults") const;
+
  private:
   /// Order-independent pair key (links are symmetric), matching MessageBus.
   static std::uint64_t key(EndpointId a, EndpointId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  /// Direction-sensitive key: reordering is a property of one flow.
+  static std::uint64_t directed_key(EndpointId from, EndpointId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
   Rng rng_;
@@ -83,6 +102,8 @@ class FaultPlane {
   std::unordered_map<std::uint64_t, LinkFaultProfile> profiles_;
   Counters totals_;
   std::unordered_map<std::uint64_t, Counters> per_link_;
+  /// Latest planned arrival (send time + extra delay) per directed flow.
+  std::unordered_map<std::uint64_t, Time> last_arrival_;
 };
 
 }  // namespace miro::sim

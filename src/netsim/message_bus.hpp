@@ -68,7 +68,7 @@ class MessageBus {
     }
     std::vector<Time> copies{0};
     if (fault_plane_ != nullptr) {
-      copies = fault_plane_->plan(from, to);
+      copies = fault_plane_->plan(from, to, scheduler_->now());
       if (copies.empty()) {
         drop(from, to, stats_.dropped_faults, "faults");
         return;

@@ -56,6 +56,11 @@ bool Scheduler::run_one() {
   return true;
 }
 
+std::optional<Time> Scheduler::next_event_within(Time limit) {
+  if (!next_live_event(true, limit)) return std::nullopt;
+  return queue_.top().time;
+}
+
 std::size_t Scheduler::run_until(Time t) {
   obs::ScopedSpan span(obs::profile(), "netsim/run_until", "netsim");
   std::size_t executed = 0;

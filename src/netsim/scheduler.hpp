@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -59,6 +60,14 @@ class Scheduler {
   /// scheduled after `t` — live or cancelled — are never touched.
   /// Returns the number of events executed.
   std::size_t run_until(Time t);
+
+  /// Peeks the timestamp of the next live event, or nullopt when no live
+  /// event is due at or before `limit`. Cancelled events at the head with
+  /// timestamp <= `limit` are discarded (observing their scheduled times),
+  /// exactly as run_until(limit) would; nothing fires and nothing past
+  /// `limit` is touched. Lets a driver step a simulation event-time by
+  /// event-time (e.g. the churn replayer's convergence-settle detection).
+  std::optional<Time> next_event_within(Time limit);
 
   /// Drains the queue; throws once a live event beyond the `max_events`
   /// budget is due (exactly `max_events` callbacks execute first) as a

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "churn/churn_trace.hpp"
+#include "churn/invariant_checker.hpp"
+#include "churn/replayer.hpp"
+#include "common/error.hpp"
+#include "scenarios.hpp"
+#include "topology/generator.hpp"
+
+namespace miro::churn {
+namespace {
+
+using test::Figure31Topology;
+
+ChurnTraceConfig small_config(std::uint64_t seed = 7) {
+  ChurnTraceConfig config;
+  config.duration = 6000;
+  config.episodes = 25;
+  config.min_hold = 40;
+  config.max_hold = 300;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ChurnTrace, GenerationIsDeterministicAndValid) {
+  Figure31Topology fig;
+  const ChurnTrace one = generate_churn_trace(fig.graph, fig.f, small_config());
+  const ChurnTrace two = generate_churn_trace(fig.graph, fig.f, small_config());
+  EXPECT_EQ(one.events, two.events);
+  EXPECT_FALSE(one.events.empty());
+  EXPECT_NO_THROW(one.validate(fig.graph));
+  EXPECT_TRUE(std::is_sorted(one.events.begin(), one.events.end(),
+                             [](const ChurnEvent& x, const ChurnEvent& y) {
+                               return x.time < y.time;
+                             }));
+  // Different seed, different script.
+  const ChurnTrace other =
+      generate_churn_trace(fig.graph, fig.f, small_config(8));
+  EXPECT_NE(one.events, other.events);
+}
+
+TEST(ChurnTrace, JsonRoundTripPreservesEverything) {
+  Figure31Topology fig;
+  const ChurnTrace trace =
+      generate_churn_trace(fig.graph, fig.f, small_config());
+  const ChurnTrace back = ChurnTrace::parse(trace.dump());
+  EXPECT_EQ(back.destination, trace.destination);
+  EXPECT_EQ(back.seed, trace.seed);
+  EXPECT_EQ(back.events, trace.events);
+  EXPECT_EQ(back.dump(), trace.dump());
+}
+
+TEST(ChurnTrace, ValidateRejectsInconsistentScripts) {
+  Figure31Topology fig;
+  ChurnTrace trace;
+  trace.destination = fig.f;
+  trace.events.push_back({10, ChurnEventKind::LinkDown, fig.e, fig.f});
+  trace.events.push_back({20, ChurnEventKind::LinkDown, fig.e, fig.f});
+  EXPECT_THROW(trace.validate(fig.graph), Error);
+
+  trace.events.clear();
+  trace.events.push_back({10, ChurnEventKind::LinkUp, fig.e, fig.f});
+  EXPECT_THROW(trace.validate(fig.graph), Error);
+
+  trace.events.clear();
+  trace.events.push_back({10, ChurnEventKind::LinkDown, fig.a, fig.f});
+  EXPECT_THROW(trace.validate(fig.graph), Error);  // no such edge
+
+  trace.events.clear();
+  trace.events.push_back({10, ChurnEventKind::HijackStart, fig.f});
+  EXPECT_THROW(trace.validate(fig.graph), Error);  // destination hijack
+
+  trace.events.clear();
+  trace.events.push_back({20, ChurnEventKind::PrefixWithdraw});
+  trace.events.push_back({10, ChurnEventKind::PrefixAnnounce});
+  EXPECT_THROW(trace.validate(fig.graph), Error);  // out of order
+}
+
+TEST(ChurnReplay, Figure31TraceKeepsAllInvariants) {
+  Figure31Topology fig;
+  const ChurnTrace trace =
+      generate_churn_trace(fig.graph, fig.f, small_config());
+  ReplayConfig config;
+  config.checkpoint_interval = 100;
+  const ReplayResult result = replay_churn(fig.graph, trace, config);
+  for (const ChurnViolation& v : result.violations) {
+    ADD_FAILURE() << v.property << " at t=" << v.time << " (event "
+                  << v.event_index << "): " << v.detail;
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.convergence.empty());
+  EXPECT_GT(result.checker.checkpoints, 0u);
+  EXPECT_GT(result.checker.quiet_checkpoints, 0u);
+  EXPECT_GT(result.checker.solver_comparisons, 0u);
+  EXPECT_GT(result.initial_convergence, 0u);
+  for (const ConvergenceSample& s : result.convergence)
+    EXPECT_GE(s.settled, s.start);
+}
+
+TEST(ChurnReplay, ReplayIsDeterministic) {
+  Figure31Topology fig;
+  const ChurnTrace trace =
+      generate_churn_trace(fig.graph, fig.f, small_config(11));
+  ReplayConfig config;
+  config.checkpoint_interval = 150;
+  const ReplayResult one = replay_churn(fig.graph, trace, config);
+  const ReplayResult two = replay_churn(fig.graph, trace, config);
+  EXPECT_EQ(one.final_time, two.final_time);
+  EXPECT_EQ(one.scheduler_events, two.scheduler_events);
+  EXPECT_EQ(one.bgp.updates_sent, two.bgp.updates_sent);
+  EXPECT_EQ(one.bgp.withdrawals_sent, two.bgp.withdrawals_sent);
+  ASSERT_EQ(one.convergence.size(), two.convergence.size());
+  for (std::size_t i = 0; i < one.convergence.size(); ++i) {
+    EXPECT_EQ(one.convergence[i].start, two.convergence[i].start);
+    EXPECT_EQ(one.convergence[i].settled, two.convergence[i].settled);
+    EXPECT_EQ(one.convergence[i].messages, two.convergence[i].messages);
+  }
+  EXPECT_EQ(one.violations.size(), two.violations.size());
+}
+
+TEST(ChurnReplay, GeneratedTopologySurvivesChurnCleanly) {
+  topo::GeneratorParams params = topo::profile("tiny");
+  params.node_count = 60;
+  const topo::AsGraph graph = topo::generate(params);
+  ChurnTraceConfig tc = small_config(3);
+  tc.episodes = 20;
+  const ChurnTrace trace = generate_churn_trace(graph, /*destination=*/0, tc);
+  ReplayConfig config;
+  config.checkpoint_interval = 250;
+  const ReplayResult result = replay_churn(graph, trace, config);
+  for (const ChurnViolation& v : result.violations) {
+    ADD_FAILURE() << v.property << " at t=" << v.time << " (event "
+                  << v.event_index << "): " << v.detail;
+  }
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(ChurnReplay, DefensesOnStillSatisfyInvariants) {
+  Figure31Topology fig;
+  const ChurnTrace trace =
+      generate_churn_trace(fig.graph, fig.f, small_config(5));
+  ReplayConfig config;
+  config.checkpoint_interval = 100;
+  config.defense.mrai = 60;
+  config.defense.damping_enabled = true;
+  const ReplayResult result = replay_churn(fig.graph, trace, config);
+  for (const ChurnViolation& v : result.violations) {
+    ADD_FAILURE() << v.property << " at t=" << v.time << " (event "
+                  << v.event_index << "): " << v.detail;
+  }
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(ChurnReplay, DampingAndMraiHalveUpdateLoadUnderPersistentFlap) {
+  Figure31Topology fig;
+  const ChurnTrace trace = make_persistent_flap_trace(
+      fig.graph, fig.f, fig.e, fig.f, /*flaps=*/40, /*period=*/80);
+  ReplayConfig off;
+  off.checkpoint_interval = 0;  // pure throughput comparison
+  const ReplayResult baseline = replay_churn(fig.graph, trace, off);
+
+  ReplayConfig on = off;
+  on.defense.mrai = 60;
+  on.defense.damping_enabled = true;
+  const ReplayResult defended = replay_churn(fig.graph, trace, on);
+
+  EXPECT_TRUE(baseline.ok());
+  EXPECT_TRUE(defended.ok());
+  EXPECT_GT(defended.bgp.routes_damped, 0u);
+  EXPECT_GT(defended.bgp.updates_suppressed + defended.bgp.coalesced, 0u);
+  // The acceptance bar: defenses cut the network-wide update load >= 2x.
+  EXPECT_GE(baseline.bgp.updates_sent, 2 * defended.bgp.updates_sent)
+      << "baseline=" << baseline.bgp.updates_sent
+      << " defended=" << defended.bgp.updates_sent;
+}
+
+TEST(ChurnReplay, HijackAndRecoverReconvergesToTrueOrigin) {
+  Figure31Topology fig;
+  ChurnTrace trace;
+  trace.destination = fig.f;
+  trace.events.push_back({200, ChurnEventKind::HijackStart, fig.a});
+  trace.events.push_back({900, ChurnEventKind::HijackEnd, fig.a});
+  ReplayConfig config;
+  config.checkpoint_interval = 50;
+  const ReplayResult result = replay_churn(fig.graph, trace, config);
+  for (const ChurnViolation& v : result.violations) {
+    ADD_FAILURE() << v.property << " at t=" << v.time << " (event "
+                  << v.event_index << "): " << v.detail;
+  }
+  EXPECT_TRUE(result.ok());
+  // The final solver comparison ran after the hijack cleared.
+  EXPECT_GT(result.checker.solver_comparisons, 0u);
+}
+
+TEST(ChurnReplay, WatchedTunnelsAreTornDownWithinHoldDown) {
+  Figure31Topology fig;
+  ChurnTrace trace;
+  trace.destination = fig.f;
+  trace.events.push_back({300, ChurnEventKind::LinkDown, fig.e, fig.f});
+  trace.events.push_back({1500, ChurnEventKind::LinkUp, fig.e, fig.f});
+  ReplayConfig config;
+  config.checkpoint_interval = 50;
+  config.tunnel_hold_down = 100;
+  // A strictly bound tunnel riding B's default B-E-F: the link failure
+  // reroutes E and must tear this down via the monitor well inside the
+  // hold-down.
+  core::TunnelMonitor::WatchedTunnel tunnel;
+  tunnel.id = 1;
+  tunnel.upstream = fig.a;
+  tunnel.responder = fig.b;
+  tunnel.destination = fig.f;
+  tunnel.bound_path = {fig.b, fig.e, fig.f};
+  tunnel.strict_binding = true;
+  config.tunnels.push_back(tunnel);
+  const ReplayResult result = replay_churn(fig.graph, trace, config);
+  for (const ChurnViolation& v : result.violations) {
+    ADD_FAILURE() << v.property << " at t=" << v.time << " (event "
+                  << v.event_index << "): " << v.detail;
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.tunnels_torn, 1u);
+}
+
+TEST(InvariantChecker, CatchesTunnelOutlivingItsRoute) {
+  // No monitor wiring here on purpose: the tunnel is never torn down, so
+  // once E's route diverges from the strict binding past the hold-down the
+  // checker must flag it.
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  bgp::SessionedBgpNetwork network(fig.graph, fig.f, scheduler);
+  core::TunnelMonitor monitor;
+  core::TunnelMonitor::WatchedTunnel tunnel;
+  tunnel.id = 7;
+  tunnel.upstream = fig.a;
+  tunnel.responder = fig.b;
+  tunnel.destination = fig.f;
+  tunnel.bound_path = {fig.b, fig.e, fig.f};
+  tunnel.strict_binding = true;
+  monitor.watch(tunnel);
+  InvariantChecker checker(network, /*tunnel_hold_down=*/100, &monitor);
+  network.start();
+  scheduler.run_all();
+  checker.check(scheduler.now());
+  EXPECT_TRUE(checker.violations().empty());
+
+  network.fail_link(fig.e, fig.f);
+  checker.on_session_flush(fig.e, fig.f);
+  scheduler.run_all();
+  checker.check(scheduler.now());  // dead, but still inside the hold-down
+  EXPECT_TRUE(checker.violations().empty());
+
+  scheduler.run_until(scheduler.now() + 200);
+  checker.check(scheduler.now());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].property, "tunnel-hold-down");
+
+  // Reported once, not at every later checkpoint.
+  scheduler.run_until(scheduler.now() + 200);
+  checker.check(scheduler.now());
+  EXPECT_EQ(checker.violations().size(), 1u);
+}
+
+TEST(InvariantChecker, FinalCheckFlagsNonQuiescence) {
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  bgp::SessionedBgpNetwork network(fig.graph, fig.f, scheduler);
+  InvariantChecker checker(network);
+  network.start();
+  // Messages are in flight right after start(); a final check here must
+  // complain about the missing quiescence.
+  ASSERT_FALSE(network.transit_quiet());
+  checker.final_check(scheduler.now());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_EQ(checker.violations()[0].property, "replay-quiescence");
+}
+
+}  // namespace
+}  // namespace miro::churn

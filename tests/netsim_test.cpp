@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -513,6 +515,89 @@ TEST(MessageBus, JitterReordersIndependentMessages) {
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, sent);       // nothing lost, nothing duplicated
   EXPECT_NE(received, sent);     // ... but the arrival order shuffled
+}
+
+TEST(FaultPlane, RejectsOutOfRangeProfilesNamingTheLink) {
+  FaultPlane plane(1);
+  EXPECT_THROW(plane.set_default_profile({-0.1, 0.0, 0}), Error);
+  EXPECT_THROW(plane.set_default_profile({0.0, 1.5, 0}), Error);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(plane.set_default_profile({nan, 0.0, 0}), Error);
+  EXPECT_THROW(plane.set_default_profile({0.0, nan, 0}), Error);
+  try {
+    plane.set_link_profile(3, 7, {1.5, 0.0, 0});
+    FAIL() << "expected a validation error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("link 3-7"), std::string::npos)
+        << error.what();
+  }
+  // A rejected profile must not be installed.
+  EXPECT_EQ(plane.profile_of(3, 7).drop, 0.0);
+  // The boundary values are legal.
+  EXPECT_NO_THROW(plane.set_link_profile(3, 7, {1.0, 1.0, 0}));
+}
+
+TEST(FaultPlane, ReorderedCountsDeliveryInvertingSendOrder) {
+  FaultPlane plane(1);
+  // No jitter, monotonic send times: delivery preserves order.
+  for (Time now = 0; now < 50; ++now) plane.plan(1, 2, now);
+  EXPECT_EQ(plane.totals().reordered, 0u);
+  // A later send planned to arrive before an earlier one is an inversion.
+  FaultPlane crossed(1);
+  crossed.plan(1, 2, /*now=*/100);
+  crossed.plan(1, 2, /*now=*/40);
+  EXPECT_EQ(crossed.totals().reordered, 1u);
+  EXPECT_EQ(crossed.link_counters(1, 2).reordered, 1u);
+  // The two directions of a link are separate flows: the reverse direction
+  // saw nothing out of order.
+  crossed.plan(2, 1, /*now=*/10);
+  EXPECT_EQ(crossed.totals().reordered, 1u);
+}
+
+TEST(FaultPlane, JitterProducesReorderingsAndMetricsExportThem) {
+  FaultPlane plane(7);
+  plane.set_default_profile({0.0, 0.3, /*jitter_max=*/40});
+  for (Time now = 0; now < 400; ++now) plane.plan(1, 2, now);
+  EXPECT_GT(plane.totals().reordered, 0u);
+  obs::MetricsRegistry registry;
+  plane.export_metrics(registry, "faults");
+  EXPECT_EQ(registry.counter("faults.reordered").value(),
+            plane.totals().reordered);
+  EXPECT_EQ(registry.counter("faults.sent").value(), plane.totals().sent);
+}
+
+TEST(Scheduler, NextEventWithinPeeksWithoutFiring) {
+  Scheduler scheduler;
+  int fired = 0;
+  scheduler.at(50, [&] { ++fired; });
+  scheduler.at(100, [&] { ++fired; });
+  EXPECT_EQ(scheduler.next_event_within(40), std::nullopt);
+  ASSERT_TRUE(scheduler.next_event_within(60).has_value());
+  EXPECT_EQ(*scheduler.next_event_within(60), 50u);
+  EXPECT_EQ(fired, 0);  // peeking never fires anything
+  scheduler.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(*scheduler.next_event_within(1000), 100u);
+}
+
+TEST(Scheduler, NextEventWithinSkipsCancelledEventsLikeRunUntil) {
+  Scheduler scheduler;
+  int fired = 0;
+  auto token = scheduler.at(30, [&] { ++fired; });
+  scheduler.at(80, [&] { ++fired; });
+  token.cancel();
+  // The cancelled head inside the bound is discarded (observing its time,
+  // exactly as run_until would); the live event behind it is reported.
+  EXPECT_EQ(*scheduler.next_event_within(200), 80u);
+  EXPECT_EQ(scheduler.now(), 30u);
+  scheduler.run_until(80);
+  ASSERT_EQ(fired, 1);
+  // A cancelled head *past* the bound stays queued.
+  auto late = scheduler.at(500, [&] { ++fired; });
+  late.cancel();
+  EXPECT_EQ(scheduler.next_event_within(400), std::nullopt);
+  scheduler.run_all();
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

@@ -122,6 +122,222 @@ TEST(SessionBgp, FailUnknownLinkThrows) {
   EXPECT_THROW(h.network.fail_link(h.fig.a, h.fig.f), Error);
 }
 
+// Asserts the network's converged state agrees with the stable solver on the
+// given graph and that the transient accounting has fully drained.
+void expect_converged_and_clean(const SessionedBgpNetwork& network,
+                                const topo::AsGraph& graph,
+                                topo::NodeId destination) {
+  EXPECT_EQ(network.messages_in_flight(), 0u);
+  EXPECT_EQ(network.mrai_parked(), 0u);
+  EXPECT_TRUE(network.transit_quiet());
+  const RoutingTree tree = StableRouteSolver(graph).solve(destination);
+  for (topo::NodeId node = 0; node < graph.node_count(); ++node) {
+    ASSERT_EQ(network.has_route(node), tree.reachable(node))
+        << "node " << node;
+    if (tree.reachable(node)) {
+      EXPECT_EQ(network.path_of(node), tree.path_of(node)) << "node " << node;
+    }
+    // No Adj-RIB-In entry may survive over a failed link, and every entry
+    // must name a real neighbor.
+    for (const auto& [from, path] : network.adj_in_of(node)) {
+      EXPECT_TRUE(graph.has_edge(node, from));
+      EXPECT_TRUE(network.link_is_up(node, from))
+          << "stale entry " << node << " <- " << from;
+      EXPECT_FALSE(path.empty());
+    }
+  }
+}
+
+TEST(SessionBgp, RapidFlapWithUpdatesInFlightLeavesNoStaleState) {
+  // Flap E-F several times *without* letting the network quiesce in
+  // between: corrective updates are still in flight when the link state
+  // changes again. Afterwards no stale Adj-RIB-In entry may survive and the
+  // converged state must match the solver exactly.
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  for (int round = 0; round < 4; ++round) {
+    h.network.fail_link(h.fig.e, h.fig.f);
+    // A handful of events only — withdrawals are still propagating.
+    for (int i = 0; i < 3; ++i) h.scheduler.run_one();
+    h.network.restore_link(h.fig.e, h.fig.f);
+    for (int i = 0; i < 2; ++i) h.scheduler.run_one();
+  }
+  h.run();
+  expect_converged_and_clean(h.network, h.fig.graph, h.fig.f);
+  EXPECT_EQ(h.network.failed_links().size(), 0u);
+}
+
+TEST(SessionBgp, RapidFlapEndingDownDrainsTheFlappedSessions) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  for (int round = 0; round < 3; ++round) {
+    h.network.fail_link(h.fig.e, h.fig.f);
+    for (int i = 0; i < 2; ++i) h.scheduler.run_one();
+    h.network.restore_link(h.fig.e, h.fig.f);
+    h.scheduler.run_one();
+  }
+  h.network.fail_link(h.fig.e, h.fig.f);  // leave it down
+  h.run();
+  EXPECT_EQ(h.network.adj_in_of(h.fig.e).count(h.fig.f), 0u);
+  EXPECT_EQ(h.network.adj_in_of(h.fig.f).count(h.fig.e), 0u);
+  EXPECT_EQ(h.network.advertised_to_of(h.fig.e).count(h.fig.f), 0u);
+  EXPECT_EQ(h.network.advertised_to_of(h.fig.f).count(h.fig.e), 0u);
+  // Converged state must match the solver on the surviving topology.
+  topo::AsGraph survived;
+  topo::NodeId a = survived.add_as(1), b = survived.add_as(2),
+               c = survived.add_as(3), d = survived.add_as(4),
+               e = survived.add_as(5), f = survived.add_as(6);
+  survived.add_customer_provider(b, a);
+  survived.add_customer_provider(d, a);
+  survived.add_customer_provider(b, e);
+  survived.add_customer_provider(d, e);
+  survived.add_customer_provider(c, f);  // e-f missing: it stayed down
+  survived.add_peer(b, c);
+  survived.add_peer(c, e);
+  expect_converged_and_clean(h.network, survived, f);
+}
+
+TEST(SessionBgp, DefenseConfigOffByDefaultAndValidated) {
+  SessionHarness h;
+  EXPECT_EQ(h.network.defense().mrai, 0u);
+  EXPECT_FALSE(h.network.defense().damping_enabled);
+  h.network.start();
+  h.run();
+  EXPECT_EQ(h.network.stats().coalesced, 0u);
+  EXPECT_EQ(h.network.stats().updates_suppressed, 0u);
+  EXPECT_EQ(h.network.stats().routes_damped, 0u);
+
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  ChurnDefenseConfig bad;
+  bad.damping_enabled = true;
+  bad.damping_suppress = 100.0;  // suppress below reuse: nonsense
+  bad.damping_reuse = 500.0;
+  EXPECT_THROW(
+      SessionedBgpNetwork(fig.graph, fig.f, scheduler, 10, bad), Error);
+  bad = ChurnDefenseConfig{};
+  bad.damping_enabled = true;
+  bad.damping_half_life = 0;
+  EXPECT_THROW(
+      SessionedBgpNetwork(fig.graph, fig.f, scheduler, 10, bad), Error);
+}
+
+TEST(SessionBgp, MraiCoalescesRapidChanges) {
+  // Same rapid-flap schedule with and without MRAI: the paced run must
+  // coalesce superseded updates and put fewer messages on the wire, while
+  // converging to the same answer.
+  const auto run_flaps = [](ChurnDefenseConfig defense) {
+    Figure31Topology fig;
+    sim::Scheduler scheduler;
+    SessionedBgpNetwork network(fig.graph, fig.f, scheduler, 10, defense);
+    network.start();
+    scheduler.run_all();
+    for (int round = 0; round < 5; ++round) {
+      network.fail_link(fig.e, fig.f);
+      scheduler.run_until(scheduler.now() + 15);
+      network.restore_link(fig.e, fig.f);
+      scheduler.run_until(scheduler.now() + 15);
+    }
+    scheduler.run_all();
+    expect_converged_and_clean(network, fig.graph, fig.f);
+    return network.stats();
+  };
+  const SessionedBgpNetwork::Stats eager = run_flaps({});
+  ChurnDefenseConfig paced;
+  paced.mrai = 100;
+  const SessionedBgpNetwork::Stats coalesced = run_flaps(paced);
+  EXPECT_GT(coalesced.coalesced, 0u);
+  EXPECT_LT(coalesced.updates_sent + coalesced.withdrawals_sent,
+            eager.updates_sent + eager.withdrawals_sent);
+}
+
+TEST(SessionBgp, DampingSuppressesFlappingRouteAndReusesAfterDecay) {
+  Figure31Topology fig;
+  sim::Scheduler scheduler;
+  ChurnDefenseConfig defense;
+  defense.damping_enabled = true;
+  defense.damping_penalty = 1000.0;
+  defense.damping_suppress = 2500.0;
+  defense.damping_reuse = 1200.0;
+  defense.damping_ceiling = 6000.0;
+  defense.damping_half_life = 200;
+  SessionedBgpNetwork network(fig.graph, fig.f, scheduler, 10, defense);
+  network.start();
+  scheduler.run_all();
+  EXPECT_EQ(network.path_of(fig.e),
+            (std::vector<topo::NodeId>{fig.e, fig.f}));
+
+  // Three fast flaps of E-F: E books a penalty per implicit withdrawal and
+  // per re-announcement, crossing the suppress threshold.
+  for (int round = 0; round < 3; ++round) {
+    network.fail_link(fig.e, fig.f);
+    scheduler.run_until(scheduler.now() + 25);
+    network.restore_link(fig.e, fig.f);
+    scheduler.run_until(scheduler.now() + 25);
+  }
+  EXPECT_TRUE(network.is_suppressed(fig.e, fig.f));
+  EXPECT_GT(network.damping_penalty_of(fig.e, fig.f),
+            defense.damping_suppress - defense.damping_penalty);
+  EXPECT_GT(network.stats().routes_damped, 0u);
+  EXPECT_GT(network.active_suppressions(), 0u);
+  // While quarantined, E routes around the perfectly healthy direct link.
+  scheduler.run_until(scheduler.now() + 50);
+  EXPECT_EQ(network.path_of(fig.e),
+            (std::vector<topo::NodeId>{fig.e, fig.c, fig.f}));
+
+  // Draining the reuse timers releases the suppression and the network
+  // returns to the stable solution.
+  scheduler.run_all();
+  EXPECT_FALSE(network.is_suppressed(fig.e, fig.f));
+  EXPECT_EQ(network.active_suppressions(), 0u);
+  expect_converged_and_clean(network, fig.graph, fig.f);
+}
+
+TEST(SessionBgp, PrefixWithdrawDrainsAndReannounceRestores) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  h.network.withdraw_prefix();
+  h.run();
+  EXPECT_FALSE(h.network.prefix_announced());
+  for (topo::NodeId node = 0; node < h.fig.graph.node_count(); ++node)
+    EXPECT_FALSE(h.network.has_route(node)) << "node " << node;
+  h.network.announce_prefix();
+  h.run();
+  expect_converged_and_clean(h.network, h.fig.graph, h.fig.f);
+}
+
+TEST(SessionBgp, HijackDivertsAndRecoveryReconverges) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  h.network.start_hijack(h.fig.a);
+  h.run();
+  EXPECT_TRUE(h.network.hijack_active());
+  // A originates the prefix itself now; its neighbors are captured.
+  EXPECT_EQ(h.network.path_of(h.fig.a), (std::vector<topo::NodeId>{h.fig.a}));
+  EXPECT_EQ(h.network.path_of(h.fig.b),
+            (std::vector<topo::NodeId>{h.fig.b, h.fig.a}));
+  h.network.end_hijack(h.fig.a);
+  h.run();
+  EXPECT_FALSE(h.network.hijack_active());
+  expect_converged_and_clean(h.network, h.fig.graph, h.fig.f);
+}
+
+TEST(SessionBgp, ExportMetricsSnapshotsStats) {
+  SessionHarness h;
+  h.network.start();
+  h.run();
+  obs::MetricsRegistry registry;
+  h.network.export_metrics(registry, "bgp");
+  EXPECT_EQ(registry.counter("bgp.updates_sent").value(),
+            h.network.stats().updates_sent);
+  EXPECT_EQ(registry.counter("bgp.coalesced").value(), 0u);
+  EXPECT_EQ(registry.counter("bgp.routes_damped").value(), 0u);
+}
+
 }  // namespace
 }  // namespace miro::bgp
 
