@@ -9,15 +9,19 @@
 //     MRAI + flap-damping defenses off vs on — the suppression ratio the
 //     damping design must pay for itself on.
 // All rows are pure simulation results (deterministic for a given seed), so
-// the suite snapshot stays byte-comparable across thread counts.
+// the suite snapshot stays byte-comparable across thread counts — except the
+// monitoring-overhead pair, which times the same mixed replay with the
+// route-event provenance recorder off vs on (wall-clock "ms" rows, gated by
+// the regression threshold like every other timing).
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "churn/replayer.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ribmon.hpp"
 #include "topology/generator.hpp"
 
 namespace {
@@ -41,7 +45,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"profile", "ASes", "bursts", "conv p50", "conv p90",
                    "msgs/burst", "flap msgs off", "flap msgs on",
-                   "suppression", "violations"});
+                   "suppression", "rib records", "violations"});
   for (const std::string& profile_name : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     const topo::AsGraph graph =
@@ -61,16 +65,51 @@ int main(int argc, char** argv) {
     const churn::ReplayResult base =
         churn::replay_churn(graph, mixed, replay_config);
 
-    Summary durations;
-    Summary messages;
+    obs::Histogram durations;
+    obs::Histogram messages;
     for (const churn::ConvergenceSample& sample : base.convergence) {
-      durations.add(static_cast<double>(sample.duration()));
-      messages.add(static_cast<double>(sample.messages));
+      durations.observe(static_cast<double>(sample.duration()));
+      messages.observe(static_cast<double>(sample.messages));
     }
-    const double conv_p50 = durations.empty() ? 0 : durations.percentile(50);
-    const double conv_p90 = durations.empty() ? 0 : durations.percentile(90);
-    const double msgs_per_burst = messages.empty() ? 0 : messages.mean();
+    const double conv_p50 = durations.p50();
+    const double conv_p90 = durations.p90();
+    const double msgs_per_burst = messages.mean();
     std::size_t violations = base.violations.size();
+
+    // Monitoring overhead: the identical mixed replay, provenance recorder
+    // off vs on. The monitored run must agree with the unmonitored one on
+    // every protocol counter (zero-cost-when-disabled means zero behaviour
+    // change when enabled), and its record stream must close the books
+    // against those counters; either failure counts as a violation.
+    const auto off_t0 = std::chrono::steady_clock::now();
+    const churn::ReplayResult unmonitored =
+        churn::replay_churn(graph, mixed, replay_config);
+    const double monitor_off_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - off_t0)
+            .count();
+    obs::RibMonitor rib;
+    churn::ReplayConfig monitored_config = replay_config;
+    monitored_config.ribmon = &rib;
+    const auto on_t0 = std::chrono::steady_clock::now();
+    const churn::ReplayResult monitored =
+        churn::replay_churn(graph, mixed, monitored_config);
+    const double monitor_on_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - on_t0)
+            .count();
+    const obs::ProvenanceSummary provenance =
+        obs::build_propagation_trees(rib.records());
+    const bool monitor_ok =
+        monitored.bgp.updates_sent == unmonitored.bgp.updates_sent &&
+        monitored.bgp.withdrawals_sent == unmonitored.bgp.withdrawals_sent &&
+        monitored.bgp.selections == unmonitored.bgp.selections &&
+        rib.wire_messages() ==
+            monitored.bgp.updates_sent + monitored.bgp.withdrawals_sent &&
+        provenance.total_updates ==
+            monitored.bgp.updates_sent + monitored.bgp.withdrawals_sent &&
+        provenance.orphans == 0;
+    if (!monitor_ok) ++violations;
 
     // Persistent flapper on the destination's first link: off vs on.
     const topo::NodeId flappy = graph.neighbors(destination).front().node;
@@ -97,6 +136,7 @@ int main(int argc, char** argv) {
                    fixed2(conv_p50), fixed2(conv_p90),
                    fixed2(msgs_per_burst), std::to_string(off_msgs),
                    std::to_string(on_msgs), fixed2(suppression) + "x",
+                   std::to_string(rib.size()),
                    std::to_string(violations)});
     json.add(profile_name + ".mixed.bursts",
              static_cast<double>(base.convergence.size()), "bursts");
@@ -111,6 +151,12 @@ int main(int argc, char** argv) {
     json.add(profile_name + ".flap.suppression_ratio", suppression, "x");
     json.add(profile_name + ".flap.routes_damped",
              static_cast<double>(on.bgp.routes_damped), "routes");
+    json.add(profile_name + ".monitor.replay_off_ms", monitor_off_ms, "ms");
+    json.add(profile_name + ".monitor.replay_on_ms", monitor_on_ms, "ms");
+    json.add(profile_name + ".monitor.records",
+             static_cast<double>(rib.size()), "records");
+    json.add(profile_name + ".monitor.trees",
+             static_cast<double>(provenance.trees.size()), "trees");
     json.add(profile_name + ".violations",
              static_cast<double>(violations), "violations");
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "churn/replayer.hpp"
+#include "obs/metrics.hpp"
 #include "topology/generator.hpp"
 
 namespace {
@@ -138,14 +139,16 @@ int main(int argc, char** argv) {
     std::printf("  initial convergence: %llu ticks\n",
                 static_cast<unsigned long long>(result.initial_convergence));
     std::printf("  churn bursts: %zu\n", result.convergence.size());
-    sim::Time worst = 0;
+    obs::Histogram burst_conv;
     std::size_t burst_msgs = 0;
     for (const churn::ConvergenceSample& sample : result.convergence) {
-      if (sample.duration() > worst) worst = sample.duration();
+      burst_conv.observe(static_cast<double>(sample.duration()));
       burst_msgs += sample.messages;
     }
-    std::printf("  worst burst convergence: %llu ticks\n",
-                static_cast<unsigned long long>(worst));
+    std::printf("  burst convergence: p50 %.1f, p90 %.1f, p99 %.1f, "
+                "worst %.0f ticks\n",
+                burst_conv.p50(), burst_conv.p90(), burst_conv.p99(),
+                burst_conv.max());
     std::printf("  messages during bursts: %zu\n", burst_msgs);
     std::printf("  updates %zu, withdrawals %zu, coalesced %zu, "
                 "suppressed %zu, damped %zu\n",

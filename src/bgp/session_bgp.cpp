@@ -46,55 +46,114 @@ std::vector<NodeId> SessionedBgpNetwork::path_of(NodeId node) const {
 void SessionedBgpNetwork::start() {
   require(!started_, "SessionedBgpNetwork::start: already started");
   started_ = true;
+  obs::RibEventId root = 0;
+  if (ribmon_ != nullptr) {
+    root = ribmon_->record_root(scheduler_->now(), destination_, "start");
+  }
+  obs::RibMonitor::CauseScope scope(ribmon_, root);
   reselect(destination_);  // announces to every neighbor
 }
 
 void SessionedBgpNetwork::send(NodeId from, NodeId to,
-                               std::vector<NodeId> path_at_sender) {
+                               std::vector<NodeId> path_at_sender,
+                               bool replaces) {
   if (path_at_sender.empty()) {
     ++stats_.withdrawals_sent;
   } else {
     ++stats_.updates_sent;
   }
+  obs::RibEventId sent_id = 0;
+  if (ribmon_ != nullptr) {
+    const obs::RibEventKind kind =
+        path_at_sender.empty()
+            ? obs::RibEventKind::Withdraw
+            : (replaces ? obs::RibEventKind::ImplicitWithdraw
+                        : obs::RibEventKind::Announce);
+    sent_id = ribmon_->record(
+        scheduler_->now(), kind, from, to, destination_,
+        static_cast<std::uint32_t>(path_at_sender.size()));
+  }
   ++messages_in_flight_;
-  scheduler_->after(link_delay_, [this, from, to,
+  scheduler_->after(link_delay_, [this, from, to, sent_id,
                                   path = std::move(path_at_sender)]() {
     --messages_in_flight_;
     // A message in flight across a link that failed meanwhile is lost; the
     // session-down handling already flushed the receiver's state.
-    if (!link_up(from, to)) return;
+    if (!link_up(from, to)) {
+      ++stats_.lost_in_flight;
+      if (ribmon_ != nullptr) {
+        obs::RibMonitor::CauseScope loss_scope(ribmon_, sent_id);
+        ribmon_->record(scheduler_->now(), obs::RibEventKind::Loss, to, from,
+                        destination_,
+                        static_cast<std::uint32_t>(path.size()));
+      }
+      return;
+    }
+    if (path.empty()) {
+      ++stats_.delivered_withdrawals;
+    } else {
+      ++stats_.delivered_updates;
+    }
+    obs::RibEventId deliver_id = 0;
+    if (ribmon_ != nullptr) {
+      obs::RibMonitor::CauseScope deliver_scope(ribmon_, sent_id);
+      deliver_id = ribmon_->record(
+          scheduler_->now(), obs::RibEventKind::Deliver, to, from,
+          destination_, static_cast<std::uint32_t>(path.size()));
+    }
+    // Everything the receiver does in reaction — damping, reselect, further
+    // sends — descends causally from this delivery.
+    obs::RibMonitor::CauseScope scope(ribmon_, deliver_id);
     if (message_observer_) message_observer_(from, to, path);
     receive(to, from, path);
   });
 }
 
 void SessionedBgpNetwork::enqueue(NodeId from, NodeId to,
-                                  std::vector<NodeId> path_at_sender) {
+                                  std::vector<NodeId> path_at_sender,
+                                  bool replaces) {
   if (defense_.mrai == 0) {
-    send(from, to, std::move(path_at_sender));
+    send(from, to, std::move(path_at_sender), replaces);
     return;
   }
   SessionOut& out = speakers_[from].sessions[to];
   if (!out.mrai_armed) {
+    // With per-session wire truth available, classify against it rather
+    // than the caller's RIB-level approximation.
+    const bool wire_replaces =
+        !out.last_sent.empty() && !path_at_sender.empty();
     out.last_sent = path_at_sender;
     out.has_pending = false;
     out.pending.clear();
-    send(from, to, std::move(path_at_sender));
+    out.pending_cause = 0;
+    send(from, to, std::move(path_at_sender), wire_replaces);
     arm_mrai(from, to);
     return;
   }
   // Timer armed: the message parks. Superseding a queued message, or
   // cancelling back to what the wire already carries, both elide a send.
-  if (out.has_pending) ++stats_.coalesced;
+  if (out.has_pending) {
+    ++stats_.coalesced;
+    if (ribmon_ != nullptr) {
+      // The elided message is the one parked earlier; attribute the
+      // coalesce to the cause that parked it, not the superseding cause.
+      obs::RibMonitor::CauseScope scope(ribmon_, out.pending_cause);
+      ribmon_->record(scheduler_->now(), obs::RibEventKind::MraiCoalesce,
+                      from, to, destination_,
+                      static_cast<std::uint32_t>(out.pending.size()));
+    }
+  }
   if (path_at_sender == out.last_sent) {
     if (out.has_pending) --mrai_parked_;
     out.has_pending = false;
     out.pending.clear();
+    out.pending_cause = 0;
     return;
   }
   if (!out.has_pending) ++mrai_parked_;
   out.has_pending = true;
   out.pending = std::move(path_at_sender);
+  out.pending_cause = ribmon_ != nullptr ? ribmon_->current_cause() : 0;
 }
 
 void SessionedBgpNetwork::arm_mrai(NodeId from, NodeId to) {
@@ -107,10 +166,15 @@ void SessionedBgpNetwork::arm_mrai(NodeId from, NodeId to) {
     std::vector<NodeId> path = std::move(session.pending);
     session.pending.clear();
     session.has_pending = false;
+    const obs::RibEventId cause = session.pending_cause;
+    session.pending_cause = 0;
     --mrai_parked_;
     if (!link_up(from, to)) return;  // session died while parked
+    const bool replaces = !session.last_sent.empty() && !path.empty();
     session.last_sent = path;
-    send(from, to, std::move(path));
+    // The delayed send still belongs to the cause that parked the message.
+    obs::RibMonitor::CauseScope scope(ribmon_, cause);
+    send(from, to, std::move(path), replaces);
     arm_mrai(from, to);
   });
 }
@@ -156,8 +220,13 @@ void SessionedBgpNetwork::schedule_reuse(NodeId node, NodeId from) {
           : static_cast<sim::Time>(
                 std::ceil(static_cast<double>(defense_.damping_half_life) *
                           std::log2(ratio)));
-  state.reuse_timer =
-      scheduler_->after(std::max<sim::Time>(dt, 1), [this, node, from]() {
+  // The reuse timer (and any release reselect it runs) descends causally
+  // from whatever triggered the suppression or its extension.
+  const obs::RibEventId cause =
+      ribmon_ != nullptr ? ribmon_->current_cause() : 0;
+  state.reuse_timer = scheduler_->after(
+      std::max<sim::Time>(dt, 1), [this, node, from, cause]() {
+        obs::RibMonitor::CauseScope scope(ribmon_, cause);
         DampingState& s = speakers_[node].damping[from];
         if (!s.suppressed) return;
         decay_penalty(s, scheduler_->now());
@@ -217,6 +286,11 @@ void SessionedBgpNetwork::receive(NodeId node, NodeId from,
     if (!just_suppressed && speaker.damping[from].suppressed) {
       // Absorbed: the pair is quarantined, nothing propagates.
       ++stats_.updates_suppressed;
+      if (ribmon_ != nullptr) {
+        ribmon_->record(scheduler_->now(),
+                        obs::RibEventKind::DampingSuppress, node, from,
+                        destination_, 0);
+      }
       return;
     }
     // On the suppression edge fall through: one reselect expels the route.
@@ -268,6 +342,16 @@ void SessionedBgpNetwork::reselect(NodeId node) {
                        (next && next->path != speaker.best->path);
   if (changed) {
     speaker.best = std::move(next);
+    if (ribmon_ != nullptr) {
+      const std::uint32_t len =
+          speaker.best
+              ? static_cast<std::uint32_t>(speaker.best->path.size())
+              : 0;
+      const std::uint64_t hash =
+          speaker.best ? obs::hash_path(speaker.best->path) : 0;
+      ribmon_->record(scheduler_->now(), obs::RibEventKind::BestChanged,
+                      node, 0, destination_, len, hash);
+    }
     if (observer_) observer_(node, speaker.best);
   }
 
@@ -282,9 +366,10 @@ void SessionedBgpNetwork::reselect(NodeId node) {
     if (exportable) {
       const bool fresh_session =
           speaker.advertised_to.insert(n.node).second;
-      if (changed || fresh_session) enqueue(node, n.node, speaker.best->path);
+      if (changed || fresh_session)
+        enqueue(node, n.node, speaker.best->path, !fresh_session);
     } else if (speaker.advertised_to.erase(n.node) > 0) {
-      enqueue(node, n.node, {});  // withdraw
+      enqueue(node, n.node, {}, false);  // withdraw
     }
   }
 }
@@ -309,8 +394,14 @@ void SessionedBgpNetwork::fail_link(NodeId a, NodeId b) {
       speaker.sessions.erase(session);
     }
     if (defense_.damping_enabled && held) penalize(self, other);
-    // Process asynchronously so failure handling interleaves with traffic.
-    scheduler_->after(0, [this, self = self]() { reselect(self); });
+    // Process asynchronously so failure handling interleaves with traffic;
+    // the deferred reselect keeps the failure's causal context.
+    const obs::RibEventId cause =
+        ribmon_ != nullptr ? ribmon_->current_cause() : 0;
+    scheduler_->after(0, [this, self = self, cause]() {
+      obs::RibMonitor::CauseScope scope(ribmon_, cause);
+      reselect(self);
+    });
   }
 }
 
@@ -318,8 +409,13 @@ void SessionedBgpNetwork::restore_link(NodeId a, NodeId b) {
   if (failed_links_.erase(link_key(a, b)) == 0) return;  // was not down
   // Fresh session: both ends retransmit their current table (here: the one
   // prefix) if export policy allows.
+  const obs::RibEventId cause =
+      ribmon_ != nullptr ? ribmon_->current_cause() : 0;
   for (auto [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
-    scheduler_->after(0, [this, self = self]() { reselect(self); });
+    scheduler_->after(0, [this, self = self, cause]() {
+      obs::RibMonitor::CauseScope scope(ribmon_, cause);
+      reselect(self);
+    });
   }
 }
 
@@ -370,6 +466,11 @@ void SessionedBgpNetwork::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".updates_suppressed")
       .set(stats_.updates_suppressed);
   registry.counter(prefix + ".routes_damped").set(stats_.routes_damped);
+  registry.counter(prefix + ".delivered_updates")
+      .set(stats_.delivered_updates);
+  registry.counter(prefix + ".delivered_withdrawals")
+      .set(stats_.delivered_withdrawals);
+  registry.counter(prefix + ".lost_in_flight").set(stats_.lost_in_flight);
 }
 
 }  // namespace miro::bgp

@@ -38,6 +38,7 @@
 #include "bgp/route.hpp"
 #include "netsim/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ribmon.hpp"
 
 namespace miro::bgp {
 
@@ -113,9 +114,23 @@ class SessionedBgpNetwork {
     message_observer_ = std::move(observer);
   }
 
+  /// Attaches (or clears, with nullptr) the route-event provenance monitor.
+  /// Null by default and zero-cost when absent: every emission site guards
+  /// with one branch, and monitored vs unmonitored runs of the same script
+  /// are bit-identical in protocol behaviour (asserted in ribmon_test).
+  /// Callers establishing external root causes (churn replay, tests) wrap
+  /// the triggering API call in an obs::RibMonitor::CauseScope.
+  void set_rib_monitor(obs::RibMonitor* monitor) { ribmon_ = monitor; }
+  obs::RibMonitor* rib_monitor() const { return ribmon_; }
+
   struct Stats {
     std::size_t updates_sent = 0;
     std::size_t withdrawals_sent = 0;
+    /// Wire messages that actually arrived (the rest died with their link).
+    std::size_t delivered_updates = 0;
+    std::size_t delivered_withdrawals = 0;
+    /// Messages lost because their link failed while they were in flight.
+    std::size_t lost_in_flight = 0;
     std::size_t selections = 0;
     /// Outbound messages that never hit the wire because a newer message
     /// superseded them inside an MRAI window.
@@ -188,6 +203,9 @@ class SessionedBgpNetwork {
     bool has_pending = false;
     std::vector<NodeId> pending;    ///< empty = withdraw
     std::vector<NodeId> last_sent;  ///< wire truth (empty = withdrawn/none)
+    /// Provenance of the parked message (the cause that last superseded),
+    /// re-established when the MRAI timer finally sends it.
+    obs::RibEventId pending_cause = 0;
     sim::Scheduler::TimerToken timer;
   };
 
@@ -220,12 +238,16 @@ class SessionedBgpNetwork {
   }
 
   /// Delivers an UPDATE (path non-empty) or WITHDRAW (path empty) from
-  /// `from` to `to` after the link delay.
-  void send(NodeId from, NodeId to, std::vector<NodeId> path_at_sender);
+  /// `from` to `to` after the link delay. `replaces` marks an UPDATE that
+  /// supersedes a path the peer already held (an implicit withdrawal — the
+  /// provenance layer distinguishes it from a first announcement).
+  void send(NodeId from, NodeId to, std::vector<NodeId> path_at_sender,
+            bool replaces);
   /// MRAI layer in front of send(): immediate when disabled or the session
   /// timer is idle; otherwise the message parks (superseding any queued one)
   /// until the timer fires.
-  void enqueue(NodeId from, NodeId to, std::vector<NodeId> path_at_sender);
+  void enqueue(NodeId from, NodeId to, std::vector<NodeId> path_at_sender,
+               bool replaces);
   void arm_mrai(NodeId from, NodeId to);
   void receive(NodeId node, NodeId from, std::vector<NodeId> path_at_sender);
   /// Re-selects at `node`; on change, propagates updates/withdrawals.
@@ -248,6 +270,7 @@ class SessionedBgpNetwork {
   std::set<NodeId> origins_;
   RouteChangeObserver observer_;
   MessageObserver message_observer_;
+  obs::RibMonitor* ribmon_ = nullptr;
   Stats stats_;
   std::size_t messages_in_flight_ = 0;
   std::size_t mrai_parked_ = 0;

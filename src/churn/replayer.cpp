@@ -49,6 +49,7 @@ ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
   sim::Scheduler scheduler;
   bgp::SessionedBgpNetwork network(graph, trace.destination, scheduler,
                                    config.link_delay, config.defense);
+  network.set_rib_monitor(config.ribmon);
   ReplayResult result;
 
   core::TunnelMonitor monitor;
@@ -133,7 +134,19 @@ ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
       messages_at_start = messages_now();
     }
     sample.last_event = i;
-    apply_event(network, checker, event);
+    if (config.ribmon != nullptr) {
+      // Every trace event roots its own propagation tree; prefix events
+      // happen at the origin (their a/b slots carry kInvalidNode).
+      const bool at_origin = event.a == topo::kInvalidNode;
+      const obs::RibEventId root = config.ribmon->record_root(
+          scheduler.now(), at_origin ? trace.destination : event.a,
+          to_string(event.kind),
+          event.b == topo::kInvalidNode ? 0 : event.b);
+      obs::RibMonitor::CauseScope scope(config.ribmon, root);
+      apply_event(network, checker, event);
+    } else {
+      apply_event(network, checker, event);
+    }
   }
 
   // Drain everything left (reconvergence, MRAI windows, damping reuse

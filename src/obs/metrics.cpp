@@ -25,6 +25,32 @@ void Histogram::observe(double value) {
   ++buckets_[exponent];
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min();
+  if (q >= 100) return max();
+  // Nearest-rank (1-based) over the bucket cumulative counts.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = underflow_;
+  if (rank <= seen) return min();  // sub-1 samples collapse to the minimum
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (rank <= seen + buckets_[i]) {
+      const double lower = std::exp2(static_cast<double>(i));
+      const double upper = lower * 2.0;
+      // Interpolate at the rank's midpoint position inside the bucket.
+      const double within =
+          (static_cast<double>(rank - seen) - 0.5) /
+          static_cast<double>(buckets_[i]);
+      const double value = lower + (upper - lower) * within;
+      return std::min(std::max(value, min()), max());
+    }
+    seen += buckets_[i];
+  }
+  return max();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   require(gauges_.find(name) == gauges_.end() &&
               histograms_.find(name) == histograms_.end(),
@@ -89,6 +115,9 @@ void MetricsRegistry::write_text(std::ostream& out) const {
     table.add_row({name, "histogram", std::to_string(histogram.count()),
                    "min=" + TextTable::num(histogram.min()) +
                        " mean=" + TextTable::num(histogram.mean()) +
+                       " p50=" + TextTable::num(histogram.p50()) +
+                       " p90=" + TextTable::num(histogram.p90()) +
+                       " p99=" + TextTable::num(histogram.p99()) +
                        " max=" + TextTable::num(histogram.max())});
   }
   table.print(out);
@@ -131,6 +160,9 @@ void MetricsRegistry::write_json(std::ostream& out) const {
         << ",\"sum\":" << json_number(histogram.sum())
         << ",\"min\":" << json_number(histogram.min())
         << ",\"max\":" << json_number(histogram.max())
+        << ",\"p50\":" << json_number(histogram.p50())
+        << ",\"p90\":" << json_number(histogram.p90())
+        << ",\"p99\":" << json_number(histogram.p99())
         << ",\"underflow\":" << histogram.underflow() << ",\"buckets\":[";
     for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
       if (i != 0) out << ",";

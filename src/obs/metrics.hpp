@@ -68,6 +68,16 @@ class Histogram {
     return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
   }
   std::uint64_t underflow() const { return underflow_; }
+  /// Nearest-rank quantile estimate, `q` in [0, 100]: locates the bucket
+  /// holding the rank and interpolates linearly within its [2^i, 2^(i+1))
+  /// range, clamped to [min, max] (exact for single-sample buckets at the
+  /// bucket midpoint; q <= 0 yields min, q >= 100 yields max, and ranks in
+  /// the underflow bucket collapse to min). Deterministic, so quantile rows
+  /// are byte-comparable across runs.
+  double quantile(double q) const;
+  double p50() const { return quantile(50); }
+  double p90() const { return quantile(90); }
+  double p99() const { return quantile(99); }
   /// Count of bucket [2^i, 2^(i+1)); zero for any i beyond the max seen.
   std::uint64_t bucket(std::size_t i) const {
     return i < buckets_.size() ? buckets_[i] : 0;

@@ -1,0 +1,303 @@
+#include "obs/ribmon.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "common/json.hpp"
+
+namespace miro::obs {
+
+const char* to_string(RibEventKind kind) {
+  switch (kind) {
+    case RibEventKind::RootCause: return "root_cause";
+    case RibEventKind::Announce: return "announce";
+    case RibEventKind::ImplicitWithdraw: return "implicit_withdraw";
+    case RibEventKind::Withdraw: return "withdraw";
+    case RibEventKind::Deliver: return "deliver";
+    case RibEventKind::Loss: return "loss";
+    case RibEventKind::DampingSuppress: return "damping_suppress";
+    case RibEventKind::MraiCoalesce: return "mrai_coalesce";
+    case RibEventKind::BestChanged: return "best_changed";
+  }
+  return "unknown";
+}
+
+std::string to_json(const RibEventRecord& record) {
+  std::string line;
+  line.reserve(192);
+  line += "{\"id\":";
+  line += std::to_string(record.id);
+  if (record.parent != 0) {
+    line += ",\"parent\":";
+    line += std::to_string(record.parent);
+  }
+  line += ",\"t\":";
+  line += std::to_string(record.time);
+  line += ",\"kind\":\"";
+  line += to_string(record.kind);
+  line += "\",\"actor\":";
+  line += std::to_string(record.actor);
+  if (record.peer != 0) {
+    line += ",\"peer\":";
+    line += std::to_string(record.peer);
+  }
+  line += ",\"prefix\":";
+  line += std::to_string(record.prefix);
+  if (record.path_len != 0) {
+    line += ",\"path_len\":";
+    line += std::to_string(record.path_len);
+  }
+  if (record.path_hash != 0) {
+    line += ",\"path_hash\":";
+    line += std::to_string(record.path_hash);
+  }
+  if (record.detail[0] != '\0') {
+    line += ",\"detail\":\"";
+    line += json_escape(record.detail);
+    line += "\"";
+  }
+  line += "}";
+  return line;
+}
+
+std::uint64_t hash_path(const std::vector<std::uint32_t>& path) {
+  std::uint64_t hash = kFnvOffset;
+  for (const std::uint32_t node : path) hash = hash_combine(hash, node);
+  // Reserve 0 for "no route" so a valid path never collides with it.
+  return hash == 0 ? 1 : hash;
+}
+
+// ----------------------------------------------------------------- monitor
+
+RibEventId RibMonitor::record_root(Time time, std::uint32_t actor,
+                                   const char* detail, std::uint32_t peer) {
+  RibEventRecord record;
+  record.id = next_id_++;
+  record.parent = 0;
+  record.time = time;
+  record.kind = RibEventKind::RootCause;
+  record.actor = actor;
+  record.peer = peer;
+  record.detail = detail;
+  ++by_kind_[static_cast<std::size_t>(record.kind)];
+  records_.push_back(record);
+  return record.id;
+}
+
+RibEventId RibMonitor::record(Time time, RibEventKind kind,
+                              std::uint32_t actor, std::uint32_t peer,
+                              std::uint32_t prefix, std::uint32_t path_len,
+                              std::uint64_t path_hash, const char* detail) {
+  RibEventRecord record;
+  record.id = next_id_++;
+  record.parent = cause_;
+  record.time = time;
+  record.kind = kind;
+  record.actor = actor;
+  record.peer = peer;
+  record.prefix = prefix;
+  record.path_len = path_len;
+  record.path_hash = path_hash;
+  record.detail = detail;
+  ++by_kind_[static_cast<std::size_t>(kind)];
+  records_.push_back(record);
+  return record.id;
+}
+
+std::uint64_t RibMonitor::wire_messages() const {
+  return count(RibEventKind::Announce) +
+         count(RibEventKind::ImplicitWithdraw) +
+         count(RibEventKind::Withdraw);
+}
+
+void RibMonitor::write_jsonl(std::ostream& out) const {
+  for (const RibEventRecord& record : records_) {
+    out << to_json(record) << '\n';
+  }
+}
+
+std::vector<TraceEvent> RibMonitor::as_trace_events() const {
+  std::vector<TraceEvent> events;
+  events.reserve(records_.size());
+  for (const RibEventRecord& record : records_) {
+    TraceEvent event;
+    event.time = record.time;
+    switch (record.kind) {
+      case RibEventKind::RootCause: event.type = EventType::RibRootCause; break;
+      case RibEventKind::Announce: event.type = EventType::RibAnnounce; break;
+      case RibEventKind::ImplicitWithdraw:
+        event.type = EventType::RibImplicitWithdraw;
+        break;
+      case RibEventKind::Withdraw: event.type = EventType::RibWithdraw; break;
+      case RibEventKind::Deliver: event.type = EventType::RibDeliver; break;
+      case RibEventKind::Loss: event.type = EventType::RibLoss; break;
+      case RibEventKind::DampingSuppress:
+        event.type = EventType::RibDampingSuppress;
+        break;
+      case RibEventKind::MraiCoalesce:
+        event.type = EventType::RibMraiCoalesce;
+        break;
+      case RibEventKind::BestChanged:
+        event.type = EventType::RibBestChanged;
+        break;
+    }
+    event.actor = record.actor;
+    event.peer = record.peer;
+    event.value = static_cast<std::int64_t>(record.id);
+    event.detail = record.detail;
+    events.push_back(event);
+  }
+  return events;
+}
+
+// ------------------------------------------------------- propagation trees
+
+ProvenanceSummary build_propagation_trees(
+    const std::vector<RibEventRecord>& records) {
+  ProvenanceSummary summary;
+  struct Placement {
+    std::size_t tree = 0;
+    std::size_t depth = 0;
+    std::size_t children = 0;
+  };
+  std::unordered_map<RibEventId, Placement> placed;
+  placed.reserve(records.size());
+
+  for (const RibEventRecord& record : records) {
+    std::size_t tree_index = 0;
+    std::size_t depth = 0;
+    const auto parent_it = record.parent == 0
+                               ? placed.end()
+                               : placed.find(record.parent);
+    if (record.parent != 0 && parent_it == placed.end()) ++summary.orphans;
+    if (record.parent == 0 || parent_it == placed.end()) {
+      tree_index = summary.trees.size();
+      PropagationTree tree;
+      tree.root = record.id;
+      tree.root_actor = record.actor;
+      tree.root_detail = record.detail;
+      tree.root_kind = record.kind;
+      tree.start = record.time;
+      tree.settled = record.time;
+      summary.trees.push_back(tree);
+    } else {
+      tree_index = parent_it->second.tree;
+      depth = parent_it->second.depth + 1;
+      PropagationTree& tree = summary.trees[tree_index];
+      const std::size_t fanout = ++parent_it->second.children;
+      tree.max_fanout = std::max(tree.max_fanout, fanout);
+    }
+    placed.emplace(record.id, Placement{tree_index, depth, 0});
+
+    PropagationTree& tree = summary.trees[tree_index];
+    ++tree.nodes;
+    tree.settled = std::max(tree.settled, record.time);
+    tree.depth = std::max(tree.depth, depth);
+    switch (record.kind) {
+      case RibEventKind::Announce:
+      case RibEventKind::ImplicitWithdraw:
+      case RibEventKind::Withdraw:
+        ++tree.updates;
+        ++summary.total_updates;
+        break;
+      case RibEventKind::Deliver:
+        ++tree.delivered;
+        ++summary.total_delivered;
+        break;
+      case RibEventKind::Loss:
+        ++tree.losses;
+        ++summary.total_losses;
+        break;
+      case RibEventKind::DampingSuppress:
+        ++tree.suppressed;
+        ++summary.total_suppressed;
+        break;
+      case RibEventKind::MraiCoalesce:
+        ++tree.coalesced;
+        ++summary.total_coalesced;
+        break;
+      case RibEventKind::BestChanged:
+        ++tree.best_changes;
+        ++summary.total_best_changes;
+        break;
+      case RibEventKind::RootCause:
+        break;
+    }
+  }
+  return summary;
+}
+
+// -------------------------------------------------- convergence observables
+
+ConvergenceReport summarize_convergence(
+    const std::vector<RibEventRecord>& records) {
+  ConvergenceReport report;
+  if (records.empty()) return report;
+  report.first_time = records.front().time;
+  report.last_time = records.back().time;
+
+  struct ActorState {
+    std::size_t best_changes = 0;
+    std::vector<std::uint64_t> hashes;  // distinct best-path fingerprints
+  };
+  std::unordered_map<std::uint32_t, ActorState> actors;
+  for (const RibEventRecord& record : records) {
+    if (record.kind != RibEventKind::BestChanged) continue;
+    ActorState& state = actors[record.actor];
+    ++state.best_changes;
+    ++report.total_best_changes;
+    if (std::find(state.hashes.begin(), state.hashes.end(),
+                  record.path_hash) == state.hashes.end()) {
+      state.hashes.push_back(record.path_hash);
+    }
+  }
+  report.actors.reserve(actors.size());
+  for (const auto& [actor, state] : actors) {
+    report.actors.push_back({actor, state.best_changes, state.hashes.size()});
+  }
+  std::sort(report.actors.begin(), report.actors.end(),
+            [](const ConvergenceReport::PerActor& a,
+               const ConvergenceReport::PerActor& b) {
+              return a.actor < b.actor;
+            });
+  return report;
+}
+
+void export_ribmon_metrics(const RibMonitor& monitor,
+                           MetricsRegistry& registry,
+                           const std::string& prefix) {
+  const ProvenanceSummary summary =
+      build_propagation_trees(monitor.records());
+  const ConvergenceReport convergence =
+      summarize_convergence(monitor.records());
+
+  registry.counter(prefix + ".records").set(monitor.size());
+  registry.counter(prefix + ".updates").set(summary.total_updates);
+  registry.counter(prefix + ".delivered").set(summary.total_delivered);
+  registry.counter(prefix + ".losses").set(summary.total_losses);
+  registry.counter(prefix + ".suppressed").set(summary.total_suppressed);
+  registry.counter(prefix + ".coalesced").set(summary.total_coalesced);
+  registry.counter(prefix + ".best_changes").set(summary.total_best_changes);
+  registry.counter(prefix + ".roots").set(summary.trees.size());
+  registry.counter(prefix + ".orphans").set(summary.orphans);
+  registry.gauge(prefix + ".churn_rate").set(convergence.churn_rate());
+
+  Histogram& conv = registry.histogram(prefix + ".convergence_ticks");
+  Histogram& amp = registry.histogram(prefix + ".amplification");
+  Histogram& depth = registry.histogram(prefix + ".tree_depth");
+  Histogram& fanout = registry.histogram(prefix + ".fanout");
+  for (const PropagationTree& tree : summary.trees) {
+    conv.observe(static_cast<double>(tree.convergence()));
+    amp.observe(tree.amplification());
+    depth.observe(static_cast<double>(tree.depth));
+    fanout.observe(static_cast<double>(tree.max_fanout));
+  }
+  Histogram& exploration = registry.histogram(prefix + ".path_exploration");
+  for (const ConvergenceReport::PerActor& actor : convergence.actors) {
+    exploration.observe(static_cast<double>(actor.distinct_paths));
+  }
+}
+
+}  // namespace miro::obs

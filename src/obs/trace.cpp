@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -37,6 +38,15 @@ const char* to_string(EventType type) {
     case EventType::TimerCancelled: return "timer_cancelled";
     case EventType::BgpRouteSelected: return "bgp_route_selected";
     case EventType::BgpRouteWithdrawn: return "bgp_route_withdrawn";
+    case EventType::RibRootCause: return "rib_root_cause";
+    case EventType::RibAnnounce: return "rib_announce";
+    case EventType::RibImplicitWithdraw: return "rib_implicit_withdraw";
+    case EventType::RibWithdraw: return "rib_withdraw";
+    case EventType::RibDeliver: return "rib_deliver";
+    case EventType::RibLoss: return "rib_loss";
+    case EventType::RibDampingSuppress: return "rib_damping_suppress";
+    case EventType::RibMraiCoalesce: return "rib_mrai_coalesce";
+    case EventType::RibBestChanged: return "rib_best_changed";
   }
   return "unknown";
 }
@@ -77,17 +87,38 @@ std::string to_json(const TraceEvent& event) {
   return line;
 }
 
-JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : path_(path), out_(path) {
   require(static_cast<bool>(out_),
           "JsonlFileSink: cannot open trace file: " + path);
 }
 
-void JsonlFileSink::on_event(const TraceEvent& event) {
-  out_ << to_json(event) << '\n';
-  ++lines_;
+JsonlFileSink::~JsonlFileSink() {
+  out_.flush();
+  if (!out_ && failures_ == 0) failures_ = 1;  // flush-time loss (ENOSPC)
+  if (failures_ != 0) {
+    std::fprintf(stderr,
+                 "JsonlFileSink: %llu write failure(s) on %s — trace "
+                 "incomplete\n",
+                 static_cast<unsigned long long>(failures_), path_.c_str());
+  }
 }
 
-void JsonlFileSink::flush() { out_.flush(); }
+void JsonlFileSink::on_event(const TraceEvent& event) {
+  out_ << to_json(event) << '\n';
+  // A failed stream stays failed: every further event counts as lost rather
+  // than silently vanishing into a bad ofstream.
+  if (out_) {
+    ++lines_;
+  } else {
+    ++failures_;
+  }
+}
+
+bool JsonlFileSink::flush() {
+  out_.flush();
+  return static_cast<bool>(out_);
+}
 
 // ---------------------------------------------------------------- recorder
 

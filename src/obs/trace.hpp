@@ -63,6 +63,19 @@ enum class EventType : std::uint8_t {
   // ---- BGP update propagation (bgp/path_vector_engine) ----
   BgpRouteSelected,       ///< value = AS-path length
   BgpRouteWithdrawn,
+  // ---- RIB monitoring (obs/ribmon over bgp/session_bgp) ----
+  // Rendered forms of RibEventRecord for the Chrome-trace per-AS instant
+  // tracks; `value` carries the record id so a track entry cross-references
+  // the provenance JSONL stream.
+  RibRootCause,           ///< detail = churn-event kind / "start"
+  RibAnnounce,
+  RibImplicitWithdraw,
+  RibWithdraw,
+  RibDeliver,
+  RibLoss,
+  RibDampingSuppress,
+  RibMraiCoalesce,
+  RibBestChanged,
 };
 
 /// Short stable name used by the exporters ("negotiation_requested", ...).
@@ -116,18 +129,30 @@ class CountingSink : public TraceSink {
 /// Streams each event as one JSON object per line (JSONL) for offline
 /// analysis. All values are numeric or static literals (details are run
 /// through the shared JSON escaper regardless).
+///
+/// Write errors (full disk, revoked path) never drop events silently: each
+/// failed write is counted, ok() goes false and stays false, and the
+/// destructor flushes and prints one stderr note if anything was lost —
+/// callers that care about the artifact check ok() before destruction.
 class JsonlFileSink : public TraceSink {
  public:
+  /// Throws miro::Error when the path cannot be opened.
   explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
   void on_event(const TraceEvent& event) override;
-  /// Flushes buffered lines; also done on destruction.
-  void flush();
-  bool ok() const { return static_cast<bool>(out_); }
+  /// Flushes buffered lines; returns stream health (false once any write
+  /// or flush has failed).
+  bool flush();
+  bool ok() const { return failures_ == 0 && static_cast<bool>(out_); }
   std::uint64_t lines_written() const { return lines_; }
+  /// Events whose serialized line could not be written.
+  std::uint64_t write_failures() const { return failures_; }
 
  private:
+  std::string path_;
   std::ofstream out_;
   std::uint64_t lines_ = 0;
+  std::uint64_t failures_ = 0;
 };
 
 /// Serializes one event as a single-line JSON object (the JSONL row format).
@@ -161,6 +186,9 @@ class TraceRecorder {
 
   /// Total events ever recorded (monotonic; unaffected by ring overwrite).
   std::uint64_t events_recorded() const { return recorded_; }
+  /// Events overwritten by ring wraparound and no longer in snapshot();
+  /// sinks saw them anyway. Exactly events_recorded() - live ring entries.
+  std::uint64_t events_dropped() const { return recorded_ - live_; }
   std::size_t capacity() const { return ring_.size(); }
 
  private:

@@ -57,6 +57,32 @@ TEST(TraceRecorder, SinksSeeEveryEventDespiteRingWrap) {
     recorder.record(event_at(t, EventType::BusDeliver));
   EXPECT_EQ(memory.events().size(), 8u);
   EXPECT_EQ(counting.count(), 8u);
+  // The sink preserved arrival order even though the ring wrapped 3 times.
+  for (Time t = 0; t < 8; ++t) EXPECT_EQ(memory.events()[t].time, t);
+}
+
+TEST(TraceRecorder, DroppedEventAccountingAtAndPastCapacity) {
+  TraceRecorder recorder(4);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  for (Time t = 0; t < 4; ++t)
+    recorder.record(event_at(t, EventType::BusSend));
+  // Exactly at capacity: the ring is full but nothing fell out yet.
+  EXPECT_EQ(recorder.events_recorded(), 4u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  EXPECT_EQ(recorder.snapshot().size(), 4u);
+
+  recorder.record(event_at(4, EventType::BusSend));
+  EXPECT_EQ(recorder.events_dropped(), 1u);  // the t=0 event fell out
+  EXPECT_EQ(recorder.snapshot().front().time, 1u);
+
+  for (Time t = 5; t < 11; ++t)
+    recorder.record(event_at(t, EventType::BusSend));
+  EXPECT_EQ(recorder.events_recorded(), 11u);
+  EXPECT_EQ(recorder.events_dropped(), 7u);  // recorded minus live
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].time, 7u + i);  // oldest-to-newest across the wrap
 }
 
 TEST(TraceRecorder, FiltersByNegotiationTunnelAndType) {
@@ -98,6 +124,38 @@ TEST(TraceRecorder, JsonlSinkWritesOneParseableLinePerEvent) {
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line, "{\"t\":43,\"type\":\"bus_send\",\"actor\":1}");
   EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFileSink, UnwritablePathThrows) {
+  EXPECT_THROW(JsonlFileSink("/nonexistent-dir/obs_test/trace.jsonl"), Error);
+}
+
+TEST(JsonlFileSink, SurfacesWriteFailuresStickily) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // canonical full-disk simulation. Skip where the device is absent.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  JsonlFileSink sink("/dev/full");
+  TraceEvent event = event_at(1, EventType::BusSend);
+  // Push enough lines to overflow the stream buffer and force real writes;
+  // once the stream fails it must stay failed and count every further loss.
+  for (int i = 0; i < 100000 && sink.ok(); ++i) sink.on_event(event);
+  ASSERT_FALSE(sink.ok());
+  const std::uint64_t failures = sink.write_failures();
+  EXPECT_GT(failures, 0u);
+  sink.on_event(event);
+  EXPECT_EQ(sink.write_failures(), failures + 1);  // sticky failure
+  EXPECT_FALSE(sink.flush());
+}
+
+TEST(JsonlFileSink, HealthyStreamReportsOk) {
+  const std::string path = ::testing::TempDir() + "obs_test_ok.jsonl";
+  JsonlFileSink sink(path);
+  sink.on_event(event_at(1, EventType::BusSend));
+  EXPECT_TRUE(sink.ok());
+  EXPECT_TRUE(sink.flush());
+  EXPECT_EQ(sink.write_failures(), 0u);
   std::remove(path.c_str());
 }
 
@@ -176,6 +234,71 @@ TEST(MetricsRegistry, CountersGaugesHistograms) {
   EXPECT_TRUE(registry.contains("bus.sent"));
   EXPECT_FALSE(registry.contains("absent"));
   EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(Histogram, QuantileOfEmptyAndSingleSample) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(50), 0.0);
+
+  Histogram one;
+  one.observe(3.0);  // bucket [2,4): the single-sample midpoint is exact
+  EXPECT_DOUBLE_EQ(one.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(one.p90(), 3.0);
+  EXPECT_DOUBLE_EQ(one.p99(), 3.0);
+
+  // A sample away from its bucket midpoint is still recovered exactly via
+  // the [min, max] clamp.
+  Histogram skewed;
+  skewed.observe(2.1);
+  EXPECT_DOUBLE_EQ(skewed.p50(), 2.1);
+}
+
+TEST(Histogram, QuantilesAreMonotonicAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.quantile(0), 1.0);     // q <= 0 -> min
+  EXPECT_DOUBLE_EQ(h.quantile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(100), 100.0);  // q >= 100 -> max
+  EXPECT_DOUBLE_EQ(h.quantile(250), 100.0);
+  double previous = 0;
+  for (double q = 1; q <= 100; q += 1) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    EXPECT_GE(value, h.min());
+    EXPECT_LE(value, h.max());
+    previous = value;
+  }
+  // The log2 buckets bound the error to one bucket width: p50 of 1..100
+  // must land inside [32, 64), the bucket holding rank 50.
+  EXPECT_GE(h.p50(), 32.0);
+  EXPECT_LT(h.p50(), 64.0);
+  EXPECT_GE(h.p90(), 64.0);
+}
+
+TEST(Histogram, UnderflowRanksCollapseToMin) {
+  Histogram h;
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(0.75);
+  h.observe(8.0);
+  // Ranks 1..3 live in the underflow bucket (samples < 1) -> min.
+  EXPECT_DOUBLE_EQ(h.quantile(25), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(75), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(99), 8.0);
+}
+
+TEST(Histogram, ExportersIncludeQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  h.observe(3.0);
+  std::ostringstream json_out;
+  registry.write_json(json_out);
+  EXPECT_NE(json_out.str().find("\"p50\":3"), std::string::npos);
+  EXPECT_NE(json_out.str().find("\"p99\":3"), std::string::npos);
+  std::ostringstream text_out;
+  registry.write_text(text_out);
+  EXPECT_NE(text_out.str().find("p50="), std::string::npos);
+  EXPECT_NE(text_out.str().find("p90="), std::string::npos);
 }
 
 TEST(MetricsRegistry, NameCannotRebindToAnotherKind) {

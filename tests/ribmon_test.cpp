@@ -1,0 +1,357 @@
+// Route-event provenance: RibMonitor mechanics (causal scoping, JSONL),
+// propagation-tree reconstruction, convergence observables, and — the load-
+// bearing property — closed accounting of a monitored churn replay against
+// the BGP plane's own counters, with the monitored run bit-identical to the
+// unmonitored one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "churn/replayer.hpp"
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ribmon.hpp"
+#include "topology/as_graph.hpp"
+
+namespace miro {
+namespace {
+
+using obs::RibEventKind;
+using obs::RibMonitor;
+
+// The dissertation's six-AS running example (Figure 3.1); destination f.
+struct Figure31 {
+  topo::AsGraph graph;
+  topo::NodeId a, b, c, d, e, f;
+
+  Figure31() {
+    a = graph.add_as(1);
+    b = graph.add_as(2);
+    c = graph.add_as(3);
+    d = graph.add_as(4);
+    e = graph.add_as(5);
+    f = graph.add_as(6);
+    graph.add_customer_provider(/*provider=*/b, /*customer=*/a);
+    graph.add_customer_provider(d, a);
+    graph.add_customer_provider(b, e);
+    graph.add_customer_provider(d, e);
+    graph.add_customer_provider(c, f);
+    graph.add_customer_provider(e, f);
+    graph.add_peer(b, c);
+    graph.add_peer(c, e);
+  }
+};
+
+churn::ChurnTrace mixed_trace(const Figure31& fig) {
+  churn::ChurnTraceConfig config;
+  config.duration = 6000;
+  config.episodes = 18;
+  config.seed = 7;
+  return churn::generate_churn_trace(fig.graph, fig.f, config);
+}
+
+TEST(RibMonitor, RecordsCarryCausalParents) {
+  RibMonitor monitor;
+  EXPECT_EQ(monitor.current_cause(), 0u);
+
+  const auto root = monitor.record_root(10, 3, "link_down", 4);
+  EXPECT_EQ(root, 1u);
+  EXPECT_EQ(monitor.current_cause(), 0u);  // record_root does not establish
+
+  obs::RibEventId sent = 0;
+  {
+    RibMonitor::CauseScope scope(&monitor, root);
+    EXPECT_EQ(monitor.current_cause(), root);
+    sent = monitor.record(11, RibEventKind::Announce, 3, 5, 9, 2);
+    {
+      RibMonitor::CauseScope nested(&monitor, sent);
+      monitor.record(21, RibEventKind::Deliver, 5, 3, 9, 2);
+    }
+    EXPECT_EQ(monitor.current_cause(), root);  // nesting restores
+  }
+  EXPECT_EQ(monitor.current_cause(), 0u);
+
+  ASSERT_EQ(monitor.size(), 3u);
+  const auto& records = monitor.records();
+  EXPECT_EQ(records[0].parent, 0u);
+  EXPECT_EQ(records[1].parent, root);
+  EXPECT_EQ(records[2].parent, sent);
+  EXPECT_EQ(monitor.count(RibEventKind::Announce), 1u);
+  EXPECT_EQ(monitor.count(RibEventKind::Deliver), 1u);
+  EXPECT_EQ(monitor.wire_messages(), 1u);
+  EXPECT_TRUE(records[1].is_wire_message());
+  EXPECT_FALSE(records[2].is_wire_message());
+}
+
+TEST(RibMonitor, NullMonitorScopeIsANoOp) {
+  // Instrumented code constructs scopes unconditionally; a null monitor must
+  // cost nothing and crash nothing.
+  RibMonitor::CauseScope outer(nullptr, 17);
+  RibMonitor::CauseScope inner(nullptr, 0);
+}
+
+TEST(RibMonitor, JsonlLinesParseAndRoundTripTheFields) {
+  RibMonitor monitor;
+  const auto root = monitor.record_root(5, 2, "session_reset", 3);
+  RibMonitor::CauseScope scope(&monitor, root);
+  monitor.record(6, RibEventKind::Withdraw, 2, 3, 7, 0);
+  monitor.record(16, RibEventKind::BestChanged, 3, 0, 7, 4,
+                 obs::hash_path({3, 1, 0, 7}));
+
+  std::ostringstream out;
+  monitor.write_jsonl(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<JsonValue> parsed;
+  while (std::getline(in, line)) parsed.push_back(JsonValue::parse(line));
+  ASSERT_EQ(parsed.size(), 3u);
+
+  EXPECT_EQ(parsed[0].at("kind").as_string(), "root_cause");
+  EXPECT_EQ(parsed[0].at("detail").as_string(), "session_reset");
+  EXPECT_FALSE(parsed[0].contains("parent"));  // roots omit the zero parent
+  EXPECT_EQ(parsed[1].at("kind").as_string(), "withdraw");
+  EXPECT_EQ(parsed[1].at("parent").as_number(), 1.0);
+  EXPECT_EQ(parsed[2].at("kind").as_string(), "best_changed");
+  EXPECT_EQ(parsed[2].at("path_len").as_number(), 4.0);
+  EXPECT_TRUE(parsed[2].contains("path_hash"));
+}
+
+TEST(RibMonitor, HashPathNeverCollidesWithTheNoRouteSentinel) {
+  EXPECT_NE(obs::hash_path({}), 0u);
+  EXPECT_NE(obs::hash_path({1, 2, 3}), 0u);
+  EXPECT_NE(obs::hash_path({1, 2, 3}), obs::hash_path({3, 2, 1}));
+}
+
+TEST(PropagationTrees, GroupsByRootWithDepthAndFanout) {
+  RibMonitor monitor;
+  const auto root = monitor.record_root(100, 1, "link_down", 2);
+  obs::RibEventId a = 0, b = 0;
+  {
+    RibMonitor::CauseScope scope(&monitor, root);
+    a = monitor.record(101, RibEventKind::Announce, 1, 2, 9, 2);
+    b = monitor.record(101, RibEventKind::Withdraw, 1, 3, 9, 0);
+    monitor.record(101, RibEventKind::BestChanged, 1, 0, 9, 2, 55);
+  }
+  {
+    RibMonitor::CauseScope scope(&monitor, a);
+    const auto deliver = monitor.record(111, RibEventKind::Deliver, 2, 1, 9, 2);
+    RibMonitor::CauseScope nested(&monitor, deliver);
+    monitor.record(111, RibEventKind::BestChanged, 2, 0, 9, 3, 56);
+  }
+  {
+    RibMonitor::CauseScope scope(&monitor, b);
+    monitor.record(111, RibEventKind::Loss, 3, 1, 9, 0);
+  }
+  const auto second = monitor.record_root(500, 4, "link_up", 5);
+  {
+    RibMonitor::CauseScope scope(&monitor, second);
+    monitor.record(501, RibEventKind::Announce, 4, 5, 9, 1);
+  }
+
+  const obs::ProvenanceSummary summary =
+      build_propagation_trees(monitor.records());
+  EXPECT_EQ(summary.orphans, 0u);
+  ASSERT_EQ(summary.trees.size(), 2u);
+
+  const obs::PropagationTree& first = summary.trees[0];
+  EXPECT_EQ(first.root, root);
+  EXPECT_EQ(first.root_actor, 1u);
+  EXPECT_STREQ(first.root_detail, "link_down");
+  EXPECT_EQ(first.nodes, 7u);
+  EXPECT_EQ(first.updates, 2u);       // announce + withdraw
+  EXPECT_EQ(first.delivered, 1u);
+  EXPECT_EQ(first.losses, 1u);
+  EXPECT_EQ(first.best_changes, 2u);
+  EXPECT_EQ(first.depth, 3u);         // root -> announce -> deliver -> best
+  EXPECT_EQ(first.max_fanout, 3u);    // the root's three direct children
+  EXPECT_EQ(first.start, 100u);
+  EXPECT_EQ(first.settled, 111u);
+  EXPECT_EQ(first.convergence(), 11u);
+  EXPECT_DOUBLE_EQ(first.amplification(), 2.0);
+
+  EXPECT_EQ(summary.trees[1].nodes, 2u);
+  EXPECT_EQ(summary.trees[1].depth, 1u);
+  EXPECT_EQ(summary.total_updates, 3u);
+  EXPECT_EQ(summary.total_best_changes, 2u);
+}
+
+TEST(PropagationTrees, UnknownParentCountsAsOrphanAndRootsItsOwnTree) {
+  std::vector<obs::RibEventRecord> records(2);
+  records[0].id = 10;
+  records[0].kind = RibEventKind::RootCause;
+  records[1].id = 11;
+  records[1].parent = 999;  // not in the stream
+  records[1].kind = RibEventKind::Announce;
+  const obs::ProvenanceSummary summary = build_propagation_trees(records);
+  EXPECT_EQ(summary.orphans, 1u);
+  ASSERT_EQ(summary.trees.size(), 2u);
+  EXPECT_EQ(summary.trees[1].root, 11u);
+  EXPECT_EQ(summary.total_updates, 1u);
+}
+
+TEST(Convergence, CountsBestChangesAndDistinctPaths) {
+  RibMonitor monitor;
+  const auto root = monitor.record_root(0, 9, "start");
+  RibMonitor::CauseScope scope(&monitor, root);
+  monitor.record(10, RibEventKind::BestChanged, 1, 0, 9, 2, 100);
+  monitor.record(20, RibEventKind::BestChanged, 1, 0, 9, 3, 200);
+  monitor.record(30, RibEventKind::BestChanged, 1, 0, 9, 2, 100);  // revisit
+  monitor.record(40, RibEventKind::BestChanged, 2, 0, 9, 0, 0);    // no route
+
+  const obs::ConvergenceReport report =
+      summarize_convergence(monitor.records());
+  EXPECT_EQ(report.total_best_changes, 4u);
+  ASSERT_EQ(report.actors.size(), 2u);
+  EXPECT_EQ(report.actors[0].actor, 1u);
+  EXPECT_EQ(report.actors[0].best_changes, 3u);
+  EXPECT_EQ(report.actors[0].distinct_paths, 2u);  // 100 revisited
+  EXPECT_EQ(report.actors[1].actor, 2u);
+  EXPECT_EQ(report.actors[1].distinct_paths, 1u);  // "no route" counts
+  EXPECT_EQ(report.first_time, 0u);
+  EXPECT_EQ(report.last_time, 40u);
+  EXPECT_DOUBLE_EQ(report.churn_rate(), 100.0);  // 4 changes / 40 ticks
+}
+
+// ------------------------------------------------ monitored churn replays
+
+TEST(RibmonReplay, ClosedAccountingAgainstTheBgpCounters) {
+  const Figure31 fig;
+  const churn::ChurnTrace trace = mixed_trace(fig);
+  ASSERT_FALSE(trace.events.empty());
+
+  obs::RibMonitor monitor;
+  churn::ReplayConfig config;
+  config.ribmon = &monitor;
+  const churn::ReplayResult result =
+      churn::replay_churn(fig.graph, trace, config);
+  ASSERT_TRUE(result.ok());
+
+  const auto& bgp = result.bgp;
+  EXPECT_EQ(monitor.wire_messages(),
+            bgp.updates_sent + bgp.withdrawals_sent);
+  EXPECT_EQ(monitor.count(RibEventKind::Deliver),
+            bgp.delivered_updates + bgp.delivered_withdrawals);
+  EXPECT_EQ(monitor.count(RibEventKind::Loss), bgp.lost_in_flight);
+  EXPECT_EQ(monitor.count(RibEventKind::MraiCoalesce), bgp.coalesced);
+  EXPECT_EQ(monitor.count(RibEventKind::DampingSuppress),
+            bgp.updates_suppressed);
+  // Every wire message either arrived or died with its link.
+  EXPECT_EQ(bgp.updates_sent + bgp.withdrawals_sent,
+            bgp.delivered_updates + bgp.delivered_withdrawals +
+                bgp.lost_in_flight);
+
+  // Every record lands in exactly one tree, rooted at start() or at a trace
+  // event; the per-tree sums therefore cover the stream totals exactly.
+  const obs::ProvenanceSummary summary =
+      build_propagation_trees(monitor.records());
+  EXPECT_EQ(summary.orphans, 0u);
+  EXPECT_EQ(summary.trees.size(), trace.events.size() + 1);
+  EXPECT_EQ(summary.total_updates, bgp.updates_sent + bgp.withdrawals_sent);
+  EXPECT_EQ(summary.total_delivered,
+            bgp.delivered_updates + bgp.delivered_withdrawals);
+  EXPECT_EQ(summary.total_losses, bgp.lost_in_flight);
+  std::size_t nodes = 0;
+  for (const obs::PropagationTree& tree : summary.trees) nodes += tree.nodes;
+  EXPECT_EQ(nodes, monitor.size());
+}
+
+TEST(RibmonReplay, MonitoredRunIsBitIdenticalToUnmonitored) {
+  const Figure31 fig;
+  const churn::ChurnTrace trace = mixed_trace(fig);
+
+  churn::ReplayConfig plain;
+  plain.defense.mrai = 60;
+  plain.defense.damping_enabled = true;
+  const churn::ReplayResult unmonitored =
+      churn::replay_churn(fig.graph, trace, plain);
+
+  obs::RibMonitor monitor;
+  churn::ReplayConfig instrumented = plain;
+  instrumented.ribmon = &monitor;
+  const churn::ReplayResult monitored =
+      churn::replay_churn(fig.graph, trace, instrumented);
+  EXPECT_GT(monitor.size(), 0u);
+
+  EXPECT_EQ(monitored.bgp.updates_sent, unmonitored.bgp.updates_sent);
+  EXPECT_EQ(monitored.bgp.withdrawals_sent,
+            unmonitored.bgp.withdrawals_sent);
+  EXPECT_EQ(monitored.bgp.selections, unmonitored.bgp.selections);
+  EXPECT_EQ(monitored.bgp.coalesced, unmonitored.bgp.coalesced);
+  EXPECT_EQ(monitored.bgp.updates_suppressed,
+            unmonitored.bgp.updates_suppressed);
+  EXPECT_EQ(monitored.bgp.routes_damped, unmonitored.bgp.routes_damped);
+  EXPECT_EQ(monitored.final_time, unmonitored.final_time);
+  EXPECT_EQ(monitored.scheduler_events, unmonitored.scheduler_events);
+  ASSERT_EQ(monitored.convergence.size(), unmonitored.convergence.size());
+  for (std::size_t i = 0; i < monitored.convergence.size(); ++i) {
+    EXPECT_EQ(monitored.convergence[i].start,
+              unmonitored.convergence[i].start);
+    EXPECT_EQ(monitored.convergence[i].settled,
+              unmonitored.convergence[i].settled);
+    EXPECT_EQ(monitored.convergence[i].messages,
+              unmonitored.convergence[i].messages);
+  }
+}
+
+TEST(RibmonReplay, DefensesEmitSuppressRecordsWithProvenance) {
+  const Figure31 fig;
+  // The persistent flapper: damping must engage and absorb updates.
+  const churn::ChurnTrace trace = churn::make_persistent_flap_trace(
+      fig.graph, fig.f, fig.e, fig.f, /*flaps=*/20, /*period=*/100);
+
+  obs::RibMonitor monitor;
+  churn::ReplayConfig config;
+  config.defense.mrai = 60;
+  config.defense.damping_enabled = true;
+  config.ribmon = &monitor;
+  const churn::ReplayResult result =
+      churn::replay_churn(fig.graph, trace, config);
+
+  EXPECT_GT(result.bgp.updates_suppressed, 0u);
+  EXPECT_EQ(monitor.count(RibEventKind::DampingSuppress),
+            result.bgp.updates_suppressed);
+  // Suppress records chain back to a root cause like everything else.
+  const obs::ProvenanceSummary summary =
+      build_propagation_trees(monitor.records());
+  EXPECT_EQ(summary.orphans, 0u);
+  EXPECT_EQ(summary.total_suppressed, result.bgp.updates_suppressed);
+}
+
+TEST(RibmonReplay, ExportedMetricsAndTraceEvents) {
+  const Figure31 fig;
+  const churn::ChurnTrace trace = mixed_trace(fig);
+  obs::RibMonitor monitor;
+  churn::ReplayConfig config;
+  config.ribmon = &monitor;
+  const churn::ReplayResult result =
+      churn::replay_churn(fig.graph, trace, config);
+
+  obs::MetricsRegistry registry;
+  obs::export_ribmon_metrics(monitor, registry);
+  EXPECT_EQ(registry.counter("ribmon.records").value(), monitor.size());
+  EXPECT_EQ(registry.counter("ribmon.updates").value(),
+            result.bgp.updates_sent + result.bgp.withdrawals_sent);
+  EXPECT_EQ(registry.counter("ribmon.roots").value(),
+            trace.events.size() + 1);
+  EXPECT_EQ(registry.counter("ribmon.orphans").value(), 0u);
+  EXPECT_GT(registry.histogram("ribmon.convergence_ticks").count(), 0u);
+  EXPECT_GT(registry.histogram("ribmon.amplification").count(), 0u);
+  EXPECT_GT(registry.histogram("ribmon.path_exploration").count(), 0u);
+  EXPECT_GT(registry.gauge("ribmon.churn_rate").value(), 0.0);
+
+  // The Perfetto rendering keeps one instant event per record, with the
+  // record id in `value` so tracks cross-reference the JSONL stream.
+  const std::vector<obs::TraceEvent> events = monitor.as_trace_events();
+  ASSERT_EQ(events.size(), monitor.size());
+  EXPECT_EQ(events.front().type, obs::EventType::RibRootCause);
+  EXPECT_STREQ(events.front().detail, "start");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].value,
+              static_cast<std::int64_t>(monitor.records()[i].id));
+  }
+}
+
+}  // namespace
+}  // namespace miro

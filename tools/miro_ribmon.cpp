@@ -1,0 +1,320 @@
+// miro_ribmon — route-event provenance monitor over a churn replay.
+//
+//   miro_ribmon [--topo figure31|<profile>] [--scale X] [--seed N]
+//               [--episodes N] [--duration T] [--defend] [--mrai N]
+//               [--load PATH] [--events PATH] [--summary PATH]
+//               [--chrome-trace PATH] [--json]
+//
+// Replays a churn trace (generated from the seed, or --load'ed from a saved
+// JSON script) with a RibMonitor attached to the sessioned BGP plane, then:
+//   - writes the raw record stream as JSONL (--events), one provenance
+//     record per line with its causal parent id;
+//   - reconstructs the per-root-cause propagation trees and prints one row
+//     per tree (convergence, depth, fan-out, amplification);
+//   - distills per-prefix convergence observables (best-route changes,
+//     path-exploration counts, RIB-churn rate) with Histogram quantiles;
+//   - verifies closed accounting: the record stream's per-kind totals must
+//     equal the replay's own BGP counters exactly, and the per-tree sums
+//     must cover every record (no orphans).
+//   - optionally renders the stream as per-AS Perfetto instant tracks
+//     (--chrome-trace).
+//
+// Exit status: 0 when accounting closes and no invariant was violated, 1 on
+// an accounting mismatch or replay violation, 2 on usage or I/O failure.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "churn/replayer.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ribmon.hpp"
+#include "topology/generator.hpp"
+
+namespace {
+
+// The dissertation's six-AS running example (Figure 3.1); destination F.
+struct Figure31 {
+  miro::topo::AsGraph graph;
+  miro::topo::NodeId a, b, c, d, e, f;
+
+  Figure31() {
+    a = graph.add_as(1);
+    b = graph.add_as(2);
+    c = graph.add_as(3);
+    d = graph.add_as(4);
+    e = graph.add_as(5);
+    f = graph.add_as(6);
+    graph.add_customer_provider(/*provider=*/b, /*customer=*/a);
+    graph.add_customer_provider(d, a);
+    graph.add_customer_provider(b, e);
+    graph.add_customer_provider(d, e);
+    graph.add_customer_provider(c, f);
+    graph.add_customer_provider(e, f);
+    graph.add_peer(b, c);
+    graph.add_peer(c, e);
+  }
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topo figure31|<profile>] [--scale X] [--seed N] "
+               "[--episodes N] [--duration T] [--defend] [--mrai N] "
+               "[--load PATH] [--events PATH] [--summary PATH] "
+               "[--chrome-trace PATH] [--json]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// One closed-accounting check: a stream total against the replay counter it
+/// must equal. A mismatch means an emission site lost or double-counted a
+/// record — the exact failure the provenance layer exists to rule out.
+struct AccountingRow {
+  const char* what;
+  std::uint64_t records;
+  std::uint64_t counter;
+
+  bool ok() const { return records == counter; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace miro;
+  std::string topo_name = "figure31";
+  double scale = 0.15;
+  std::string load_path, events_path, summary_path, chrome_path;
+  bool json = false;
+  churn::ChurnTraceConfig trace_config;
+  trace_config.duration = 8000;
+  trace_config.episodes = 24;
+  churn::ReplayConfig replay_config;
+  replay_config.checkpoint_interval = 200;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--topo") topo_name = value();
+    else if (flag == "--scale") scale = std::atof(value());
+    else if (flag == "--seed")
+      trace_config.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (flag == "--episodes")
+      trace_config.episodes = static_cast<std::size_t>(std::atoll(value()));
+    else if (flag == "--duration")
+      trace_config.duration = static_cast<sim::Time>(std::atoll(value()));
+    else if (flag == "--defend") {
+      replay_config.defense.mrai = 60;
+      replay_config.defense.damping_enabled = true;
+    } else if (flag == "--mrai")
+      replay_config.defense.mrai = static_cast<sim::Time>(std::atoll(value()));
+    else if (flag == "--load") load_path = value();
+    else if (flag == "--events") events_path = value();
+    else if (flag == "--summary") summary_path = value();
+    else if (flag == "--chrome-trace") chrome_path = value();
+    else if (flag == "--json") json = true;
+    else usage(argv[0]);
+  }
+
+  try {
+    Figure31 fig;
+    topo::AsGraph generated;
+    const topo::AsGraph* graph = &fig.graph;
+    topo::NodeId destination = fig.f;
+    if (topo_name != "figure31") {
+      generated = topo::generate(topo::profile(topo_name, scale));
+      graph = &generated;
+      destination = 0;
+    }
+
+    churn::ChurnTrace trace;
+    if (!load_path.empty()) {
+      trace = churn::ChurnTrace::load(load_path);
+    } else {
+      trace = churn::generate_churn_trace(*graph, destination, trace_config);
+    }
+
+    obs::RibMonitor monitor;
+    replay_config.ribmon = &monitor;
+    const churn::ReplayResult result =
+        churn::replay_churn(*graph, trace, replay_config);
+
+    if (!events_path.empty()) {
+      std::ofstream out(events_path);
+      if (!out) {
+        std::fprintf(stderr, "miro_ribmon: cannot open %s\n",
+                     events_path.c_str());
+        return 2;
+      }
+      monitor.write_jsonl(out);
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "miro_ribmon: write failed on %s\n",
+                     events_path.c_str());
+        return 2;
+      }
+    }
+    if (!chrome_path.empty() &&
+        !obs::write_chrome_trace_file(chrome_path, nullptr,
+                                      monitor.as_trace_events())) {
+      return 2;
+    }
+
+    const obs::ProvenanceSummary provenance =
+        build_propagation_trees(monitor.records());
+    const obs::ConvergenceReport convergence =
+        summarize_convergence(monitor.records());
+
+    // Closed accounting: every stream total must match the replay's own
+    // counters, and every record must land in a tree (no orphans).
+    const auto& bgp = result.bgp;
+    const AccountingRow accounting[] = {
+        {"wire_records == updates_sent + withdrawals_sent",
+         monitor.wire_messages(),
+         static_cast<std::uint64_t>(bgp.updates_sent + bgp.withdrawals_sent)},
+        {"tree update sums == updates_sent + withdrawals_sent",
+         static_cast<std::uint64_t>(provenance.total_updates),
+         static_cast<std::uint64_t>(bgp.updates_sent + bgp.withdrawals_sent)},
+        {"deliver records == delivered updates + withdrawals",
+         monitor.count(obs::RibEventKind::Deliver),
+         static_cast<std::uint64_t>(bgp.delivered_updates +
+                                    bgp.delivered_withdrawals)},
+        {"loss records == lost_in_flight",
+         monitor.count(obs::RibEventKind::Loss),
+         static_cast<std::uint64_t>(bgp.lost_in_flight)},
+        {"coalesce records == coalesced",
+         monitor.count(obs::RibEventKind::MraiCoalesce),
+         static_cast<std::uint64_t>(bgp.coalesced)},
+        {"suppress records == updates_suppressed",
+         monitor.count(obs::RibEventKind::DampingSuppress),
+         static_cast<std::uint64_t>(bgp.updates_suppressed)},
+        {"orphan records == 0",
+         static_cast<std::uint64_t>(provenance.orphans), 0},
+    };
+    bool accounting_ok = true;
+    for (const AccountingRow& row : accounting) {
+      accounting_ok = accounting_ok && row.ok();
+    }
+
+    obs::MetricsRegistry registry;
+    obs::export_ribmon_metrics(monitor, registry);
+
+    if (!summary_path.empty() || json) {
+      JsonValue doc = JsonValue::make_object();
+      JsonValue trace_info = JsonValue::make_object();
+      trace_info.set("topo", JsonValue::make_string(topo_name));
+      trace_info.set("events",
+                     JsonValue::make_number(
+                         static_cast<double>(trace.events.size())));
+      trace_info.set("seed",
+                     JsonValue::make_number(static_cast<double>(trace.seed)));
+      doc.set("trace", std::move(trace_info));
+      JsonValue acct = JsonValue::make_object();
+      for (const AccountingRow& row : accounting) {
+        JsonValue entry = JsonValue::make_object();
+        entry.set("records",
+                  JsonValue::make_number(static_cast<double>(row.records)));
+        entry.set("counter",
+                  JsonValue::make_number(static_cast<double>(row.counter)));
+        entry.set("ok", JsonValue::make_bool(row.ok()));
+        acct.set(row.what, std::move(entry));
+      }
+      doc.set("accounting", std::move(acct));
+      doc.set("accounting_ok", JsonValue::make_bool(accounting_ok));
+      doc.set("violations",
+              JsonValue::make_number(
+                  static_cast<double>(result.violations.size())));
+      std::ostringstream metrics_json;
+      registry.write_json(metrics_json);
+      doc.set("metrics", JsonValue::parse(metrics_json.str()));
+      const std::string rendered = doc.dump();
+      if (!summary_path.empty()) {
+        std::ofstream out(summary_path);
+        out << rendered << "\n";
+        out.flush();
+        if (!out) {
+          std::fprintf(stderr, "miro_ribmon: write failed on %s\n",
+                       summary_path.c_str());
+          return 2;
+        }
+      }
+      if (json) std::cout << rendered << "\n";
+    }
+
+    if (!json) {
+      std::printf("replay over %s (%zu ASes, %zu links), %zu trace events, "
+                  "defenses %s\n",
+                  topo_name.c_str(), graph->node_count(), graph->edge_count(),
+                  trace.events.size(),
+                  replay_config.defense.mrai != 0 ||
+                          replay_config.defense.damping_enabled
+                      ? "ON"
+                      : "off");
+      std::printf("%zu provenance records in %zu trees\n\n", monitor.size(),
+                  provenance.trees.size());
+
+      TextTable table({"root", "cause", "actor", "start", "conv", "nodes",
+                       "depth", "fanout", "updates", "deliv", "lost", "supp",
+                       "coal", "best"});
+      for (const obs::PropagationTree& tree : provenance.trees) {
+        table.add_row({std::to_string(tree.root), tree.root_detail,
+                       std::to_string(tree.root_actor),
+                       std::to_string(tree.start),
+                       std::to_string(tree.convergence()),
+                       std::to_string(tree.nodes), std::to_string(tree.depth),
+                       std::to_string(tree.max_fanout),
+                       std::to_string(tree.updates),
+                       std::to_string(tree.delivered),
+                       std::to_string(tree.losses),
+                       std::to_string(tree.suppressed),
+                       std::to_string(tree.coalesced),
+                       std::to_string(tree.best_changes)});
+      }
+      table.print(std::cout);
+
+      const obs::Histogram& conv =
+          registry.histogram("ribmon.convergence_ticks");
+      const obs::Histogram& amp = registry.histogram("ribmon.amplification");
+      std::printf("\nconvergence ticks: p50 %s  p90 %s  p99 %s  max %s\n",
+                  TextTable::num(conv.p50()).c_str(),
+                  TextTable::num(conv.p90()).c_str(),
+                  TextTable::num(conv.p99()).c_str(),
+                  TextTable::num(conv.max()).c_str());
+      std::printf("amplification:     p50 %s  p90 %s  p99 %s  max %s\n",
+                  TextTable::num(amp.p50()).c_str(),
+                  TextTable::num(amp.p90()).c_str(),
+                  TextTable::num(amp.p99()).c_str(),
+                  TextTable::num(amp.max()).c_str());
+      std::printf("best-route changes: %zu across %zu ASes, churn rate "
+                  "%s/1000 ticks\n",
+                  convergence.total_best_changes, convergence.actors.size(),
+                  TextTable::num(convergence.churn_rate()).c_str());
+
+      std::printf("\nclosed accounting:\n");
+      for (const AccountingRow& row : accounting) {
+        std::printf("  [%s] %s: stream %llu vs counter %llu\n",
+                    row.ok() ? "ok" : "MISMATCH", row.what,
+                    static_cast<unsigned long long>(row.records),
+                    static_cast<unsigned long long>(row.counter));
+      }
+      if (!result.violations.empty()) {
+        std::printf("\nFAIL: %zu invariant violation(s) during replay\n",
+                    result.violations.size());
+      }
+    }
+
+    return accounting_ok && result.violations.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "miro_ribmon: %s\n", error.what());
+    return 2;
+  }
+}
