@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);
+  obs::MemoryRegistry mem;
+  obs::set_memory(&mem);
   bench::BenchJsonWriter json = args.json_writer();
   json.set_profile(&prof);
+  json.set_memory(&mem);
   for (const std::string& profile : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     const eval::ExperimentPlan plan(args.config_for(profile));
+    bench::add_memory_rows(json, profile, plan);
     const core::AlternatesEngine engine(plan.solver());
     const auto tuples =
         plan.sample_tuples(plan.config().sources_per_destination);
@@ -82,6 +86,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\n";
   }
+  obs::set_memory(nullptr);
   obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
   bench::BenchJsonWriter json = args.json_writer();
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);
+  obs::MemoryRegistry mem;
+  obs::set_memory(&mem);
   json.set_profile(&prof);
+  json.set_memory(&mem);
 
   TextTable table({"profile", "ASes", "bursts", "conv p50", "conv p90",
                    "msgs/burst", "flap msgs off", "flap msgs on",
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
     const topo::AsGraph graph =
         topo::generate(topo::profile(profile_name, args.scale * 0.5));
     const topo::NodeId destination = 0;
+    bench::add_memory_rows(json, profile_name, graph);
 
     // Mixed churn: the seeded generator's workload, defenses off, with the
     // invariant checker auditing the whole replay.
@@ -144,6 +148,12 @@ int main(int argc, char** argv) {
     json.add(profile_name + ".mixed.convergence_p90", conv_p90, "ticks");
     json.add(profile_name + ".mixed.msgs_per_burst", msgs_per_burst,
              "messages");
+    json.add(profile_name + ".mixed.rib_bytes",
+             static_cast<double>(base.rib.rib_bytes), "bytes");
+    json.add(profile_name + ".mixed.bytes_per_route",
+             base.rib.bytes_per_route(), "bytes/route");
+    json.add(profile_name + ".mixed.checker_bytes",
+             static_cast<double>(base.checker_bytes), "bytes");
     json.add(profile_name + ".flap.updates_off",
              static_cast<double>(off_msgs), "messages");
     json.add(profile_name + ".flap.updates_on",
@@ -172,6 +182,7 @@ int main(int argc, char** argv) {
                "defenses on over the same 30-flap script; the violations "
                "column is the online invariant checker's verdict and must "
                "be 0)\n";
+  obs::set_memory(nullptr);
   obs::set_profile(nullptr);
   return json.write() ? 0 : 2;
   } catch (const std::exception& error) {

@@ -29,6 +29,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "eval/experiments.hpp"
+#include "obs/memstats.hpp"
 #include "obs/profile.hpp"
 
 namespace miro::bench {
@@ -63,6 +64,12 @@ class BenchJsonWriter {
   void set_profile(const obs::ProfileRegistry* profile) {
     profile_ = profile;
   }
+
+  /// Attaches (non-owning) a memory registry whose accounts are written as
+  /// the snapshot's "memory" section (current/peak bytes per account, plus
+  /// RSS when sampled); it must outlive write(). Informational context —
+  /// the regression gate reads the byte rows in "results", not this.
+  void set_memory(const obs::MemoryRegistry* memory) { memory_ = memory; }
 
   /// Writes the snapshot; returns false (with a note on stderr) on I/O
   /// failure so benches can surface a nonzero exit if they care.
@@ -103,6 +110,23 @@ class BenchJsonWriter {
       }
       out << "}";
     }
+    if (memory_ != nullptr) {
+      out << ",\"memory\":{\"accounts\":{";
+      bool first = true;
+      for (const auto& [name, counters] : memory_->accounts()) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << json_escape(name)
+            << "\":{\"bytes\":" << counters.current
+            << ",\"peak_bytes\":" << counters.peak << "}";
+      }
+      out << "}";
+      if (memory_->rss_samples() > 0) {
+        out << ",\"rss_bytes\":" << memory_->rss_bytes()
+            << ",\"rss_peak_bytes\":" << memory_->rss_peak_bytes();
+      }
+      out << "}";
+    }
     out << "}\n";
     return static_cast<bool>(out);
   }
@@ -117,7 +141,37 @@ class BenchJsonWriter {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<Row> rows_;
   const obs::ProfileRegistry* profile_ = nullptr;
+  const obs::MemoryRegistry* memory_ = nullptr;
 };
+
+/// Derived footprint rows for a graph-only bench: the graph's resident
+/// bytes and bytes-per-edge. Capacity walks, so the rows obey the suite's
+/// bit-identical determinism contract (unlike RSS, which never becomes a
+/// result row). Gated by bench_compare's memory thresholds.
+inline void add_memory_rows(BenchJsonWriter& json, const std::string& prefix,
+                            const topo::AsGraph& graph) {
+  const double bytes = static_cast<double>(graph.memory_bytes());
+  json.add(prefix + ".graph_bytes", bytes, "bytes");
+  if (graph.edge_count() > 0) {
+    json.add(prefix + ".bytes_per_edge",
+             bytes / static_cast<double>(graph.edge_count()), "bytes/edge");
+  }
+}
+
+/// Derived footprint rows for a plan-based bench: graph rows plus the
+/// solved routing state's bytes and bytes-per-route (routes = reachable
+/// (node, tree) pairs across the plan's trees).
+inline void add_memory_rows(BenchJsonWriter& json, const std::string& prefix,
+                            const eval::ExperimentPlan& plan) {
+  add_memory_rows(json, prefix, plan.graph());
+  const double tree_bytes = static_cast<double>(plan.trees_memory_bytes());
+  json.add(prefix + ".trees_bytes", tree_bytes, "bytes");
+  if (plan.route_count() > 0) {
+    json.add(prefix + ".bytes_per_route",
+             tree_bytes / static_cast<double>(plan.route_count()),
+             "bytes/route");
+  }
+}
 
 /// Pulls `--json <path>` out of argv (compacting it) and returns the path,
 /// or "" when absent. For benches whose remaining flags are parsed by

@@ -1,14 +1,23 @@
 // Perf-regression gate CLI around obs::compare_bench_json.
 //
 //   ./bench_compare baseline.json current.json [--threshold 0.25]
-//                   [--min-magnitude X] [--check-values] [--values-only]
+//                   [--min-magnitude X] [--mem-threshold 0.25]
+//                   [--mem-min-magnitude X] [--mem-abs-limit BYTES]
+//                   [--check-values] [--values-only]
 //
 // Exit 0 when the gate passes, 1 on any regression / missing row, 2 on
 // bad usage or unreadable input. CI runs this against the checked-in
 // BENCH_PR3.json baseline; a >threshold slowdown on any gated (perf-unit)
-// row fails the build. --values-only is the determinism gate: it ignores
-// wall-clock rows and requires every other row to match exactly — used to
-// compare a --threads 4 suite run against the --threads 1 run.
+// row fails the build, and byte-unit rows ("bytes", "bytes/route",
+// "bytes/edge") are gated separately by --mem-threshold (relative growth)
+// and --mem-abs-limit (absolute byte growth ceiling, 0 = off) — memory
+// rows come from deterministic container walks, so their gate stays tight
+// even when the time threshold is loosened for noisy shared runners. All
+// violations are reported in one run with a per-kind summary count in the
+// exit message. --values-only is the determinism gate: it ignores
+// wall-clock rows and requires every other row — byte rows included — to
+// match exactly; used to compare a --threads 4 suite run against the
+// --threads 1 run.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,8 +34,9 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: bench_compare BASELINE.json CURRENT.json "
-               "[--threshold X] [--min-magnitude X] [--check-values] "
-               "[--values-only]\n");
+               "[--threshold X] [--min-magnitude X] [--mem-threshold X] "
+               "[--mem-min-magnitude X] [--mem-abs-limit BYTES] "
+               "[--check-values] [--values-only]\n");
   std::exit(2);
 }
 
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
     if (flag == "--threshold") options.threshold = std::atof(value());
     else if (flag == "--min-magnitude")
       options.min_magnitude = std::atof(value());
+    else if (flag == "--mem-threshold")
+      options.memory_threshold = std::atof(value());
+    else if (flag == "--mem-min-magnitude")
+      options.memory_min_magnitude = std::atof(value());
+    else if (flag == "--mem-abs-limit")
+      options.memory_abs_limit = std::atof(value());
     else if (flag == "--check-values") options.check_values = true;
     else if (flag == "--values-only") options.values_only = true;
     else if (!flag.empty() && flag[0] == '-') usage();

@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
   bench::BenchJsonWriter json(bench::take_json_flag(argc, argv));
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);
+  obs::MemoryRegistry mem;
+  obs::set_memory(&mem);
   json.set_profile(&prof);
+  json.set_memory(&mem);
   const auto bench_start = std::chrono::steady_clock::now();
   TextTable table({"gadget", "guideline", "outcome", "activations"});
   const Guideline guidelines[] = {Guideline::None, Guideline::StrictOnly,
@@ -143,6 +146,7 @@ int main(int argc, char** argv) {
       std::chrono::steady_clock::now() - bench_start);
   json.add("convergence_lab.elapsed", static_cast<double>(elapsed.count()),
            "ms");
+  obs::set_memory(nullptr);
   obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

@@ -9,14 +9,18 @@
 
 #include "bench_common.hpp"
 #include "eval/dataset_report.hpp"
+#include "topology/generator.hpp"
 
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
   miro::obs::ProfileRegistry prof;
   miro::obs::set_profile(&prof);
+  miro::obs::MemoryRegistry mem;
+  miro::obs::set_memory(&mem);
   miro::bench::BenchJsonWriter json = args.json_writer();
   json.set_profile(&prof);
+  json.set_memory(&mem);
   for (const std::string& profile : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     miro::eval::print_degree_distribution(profile, args.scale, std::cout);
@@ -25,7 +29,11 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     json.add(profile + ".elapsed", static_cast<double>(elapsed.count()),
              "ms");
+    const miro::topo::AsGraph graph =
+        miro::topo::generate(miro::topo::profile(profile, args.scale));
+    miro::bench::add_memory_rows(json, profile, graph);
   }
+  miro::obs::set_memory(nullptr);
   miro::obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

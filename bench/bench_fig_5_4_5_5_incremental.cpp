@@ -16,11 +16,15 @@ int main(int argc, char** argv) {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
   miro::obs::ProfileRegistry prof;
   miro::obs::set_profile(&prof);
+  miro::obs::MemoryRegistry mem;
+  miro::obs::set_memory(&mem);
   miro::bench::BenchJsonWriter json = args.json_writer();
   json.set_profile(&prof);
+  json.set_memory(&mem);
   for (const std::string& profile : args.profiles) {
     const auto start = std::chrono::steady_clock::now();
     const miro::eval::ExperimentPlan plan(args.config_for(profile));
+    miro::bench::add_memory_rows(json, profile, plan);
     const auto result = miro::eval::run_incremental_deployment(plan);
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
                half.low_degree_first_gain, "fraction");
     }
   }
+  miro::obs::set_memory(nullptr);
   miro::obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

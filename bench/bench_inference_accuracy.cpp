@@ -22,8 +22,11 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);
+  obs::MemoryRegistry mem;
+  obs::set_memory(&mem);
   bench::BenchJsonWriter json = args.json_writer();
   json.set_profile(&prof);
+  json.set_memory(&mem);
 
   TextTable table({"profile", "vantages", "paths", "algorithm",
                    "edges seen", "accuracy", "missing", "spurious"});
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     const topo::AsGraph truth =
         topo::generate(topo::profile(profile_name, args.scale));
+    bench::add_memory_rows(json, profile_name, truth);
     bgp::StableRouteSolver solver(truth);
 
     // RouteViews-style observation: full tables from a few dozen vantages.
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   std::cout << "(expected: Gao classifies most observed edges correctly and "
                "beats the rank algorithm, matching Mao et al.'s finding the "
                "dissertation cites)\n";
+  obs::set_memory(nullptr);
   obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

@@ -24,7 +24,10 @@ int main(int argc, char** argv) {
   bench::BenchJsonWriter json = args.json_writer();
   obs::ProfileRegistry prof;
   obs::set_profile(&prof);
+  obs::MemoryRegistry mem;
+  obs::set_memory(&mem);
   json.set_profile(&prof);
+  json.set_memory(&mem);
 
   TextTable table({"profile", "ASes", "links", "BGP msgs to converge",
                    "msgs per link failure", "MIRO msgs per negotiation",
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     const topo::AsGraph graph =
         topo::generate(topo::profile(profile_name, args.scale * 0.5));
+    bench::add_memory_rows(json, profile_name, graph);
 
     // BGP: converge one prefix, then fail one transit link.
     sim::Scheduler scheduler;
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
                "network; a MIRO negotiation costs a constant four messages "
                "between exactly two ASes, plus soft-state keep-alives on "
                "established tunnels)\n";
+  obs::set_memory(nullptr);
   obs::set_profile(nullptr);
   return json.write() ? 0 : 2;
   } catch (const std::exception& error) {

@@ -17,6 +17,7 @@
 // excluded from the merged config section because result rows are
 // bit-identical at any thread count and snapshots must stay comparable
 // across thread counts.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -136,6 +137,7 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   const SuiteArgs args = parse(argc, argv);
 
+  const auto suite_start = std::chrono::steady_clock::now();
   miro::JsonValue benches = miro::JsonValue::make_object();
   std::size_t failures = 0;
   for (const BenchSpec& spec : kBenches) {
@@ -158,7 +160,15 @@ int main(int argc, char** argv) {
     command += " --json " + snapshot_path;
     std::printf("== %s\n", spec.name);
     std::fflush(stdout);
+    const auto bench_start = std::chrono::steady_clock::now();
     const int status = std::system(command.c_str());
+    const double bench_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      bench_start)
+            .count();
+    std::printf("== %s: %.1f s%s\n", spec.name, bench_seconds,
+                status != 0 ? " (FAILED)" : "");
+    std::fflush(stdout);
     const std::string text = read_file(snapshot_path);
     std::remove(snapshot_path.c_str());
     if (status != 0 || text.empty()) {
@@ -199,8 +209,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   out << doc.dump() << "\n";
+  const double suite_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    suite_start)
+          .count();
   std::printf("\nrun_suite: merged %zu bench snapshot(s) into %s (%zu "
-              "failed)\n",
-              doc.at("benches").size(), args.out.c_str(), failures);
+              "failed, %.1f s total)\n",
+              doc.at("benches").size(), args.out.c_str(), failures,
+              suite_seconds);
   return failures == 0 ? 0 : 1;
 }

@@ -13,20 +13,30 @@
 
 #include "bench_common.hpp"
 #include "eval/dataset_report.hpp"
+#include "topology/generator.hpp"
 
 int main(int argc, char** argv) {
   try {
   const auto args = miro::bench::BenchArgs::parse(argc, argv);
   miro::obs::ProfileRegistry prof;
   miro::obs::set_profile(&prof);
+  miro::obs::MemoryRegistry mem;
+  miro::obs::set_memory(&mem);
   miro::bench::BenchJsonWriter json = args.json_writer();
   json.set_profile(&prof);
+  json.set_memory(&mem);
   const auto start = std::chrono::steady_clock::now();
   miro::eval::print_dataset_table(args.profiles, args.scale, std::cout);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   json.add("dataset_table.elapsed", static_cast<double>(elapsed.count()),
            "ms");
+  for (const std::string& profile : args.profiles) {
+    const miro::topo::AsGraph graph =
+        miro::topo::generate(miro::topo::profile(profile, args.scale));
+    miro::bench::add_memory_rows(json, profile, graph);
+  }
+  miro::obs::set_memory(nullptr);
   miro::obs::set_profile(nullptr);
   return json.write() ? 0 : 1;
   } catch (const std::exception& error) {

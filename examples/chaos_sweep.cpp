@@ -4,7 +4,7 @@
 // establishment rate, retransmissions, suppressed duplicates, failovers.
 //
 //   ./chaos_sweep [negotiations] [seed] [--metrics-json <path>]
-//                 [--chrome-trace <path>]
+//                 [--chrome-trace <path>] [--memory]
 //
 // With --metrics-json the final (worst drop rate) run's metrics registry —
 // agent counters, bus delivery accounting — is written as a JSON snapshot,
@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "core/route_store.hpp"
 #include "netsim/fault_injection.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/memstats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -69,10 +71,16 @@ struct SweepRow {
 
 SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
                  miro::obs::MetricsRegistry* metrics = nullptr,
-                 miro::obs::TraceRecorder* trace = nullptr) {
+                 miro::obs::TraceRecorder* trace = nullptr,
+                 miro::obs::MemoryRegistry* memstats = nullptr) {
   using namespace miro;
   Figure31 fig;
-  core::RouteStore store(fig.graph);
+  // With --memory the store's tree map allocates through a counting
+  // allocator, so the account tracks live bytes (and the high-water peak).
+  core::RouteStore store(fig.graph,
+                         memstats != nullptr
+                             ? &memstats->account("core/route_store")
+                             : nullptr);
   sim::Scheduler scheduler;
   core::Bus bus(scheduler);
   sim::FaultPlane plane(seed);
@@ -115,6 +123,10 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
                               responder.stats().duplicates_suppressed;
   row.failed_over = requester.stats().tunnels_failed_over;
   row.plane = plane.totals();
+  if (memstats != nullptr) {
+    memstats->account("topology/graph").set_current(fig.graph.memory_bytes());
+    memstats->sample_rss();
+  }
   if (metrics != nullptr) {
     requester.export_metrics(*metrics, "requester");
     responder.export_metrics(*metrics, "responder");
@@ -132,12 +144,15 @@ SweepRow run_one(double drop, std::size_t negotiations, std::uint64_t seed,
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string chrome_trace_path;
+  bool memory_report = false;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
       chrome_trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--memory") == 0) {
+      memory_report = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -162,6 +177,7 @@ int main(int argc, char** argv) {
   miro::obs::MemorySink sink;  // full history even past ring wraparound
   recorder.add_sink(&sink);
   miro::obs::ProfileRegistry profiler;
+  miro::obs::MemoryRegistry memstats;
   const std::vector<double> drops{0.0, 0.05, 0.10, 0.15, 0.20, 0.30};
   for (double drop : drops) {
     // Only the final (worst) run is observed: its registry feeds the metrics
@@ -172,7 +188,8 @@ int main(int argc, char** argv) {
     const SweepRow row = run_one(drop, negotiations, seed,
                                  last && !metrics_path.empty() ? &metrics
                                                                : nullptr,
-                                 trace_this ? &recorder : nullptr);
+                                 trace_this ? &recorder : nullptr,
+                                 last && memory_report ? &memstats : nullptr);
     if (trace_this) miro::obs::set_profile(nullptr);
     std::printf(
         "%6.0f %6zu %6zu %6zu %7zu %6zu %6zu %8llu %8llu %6.1f\n",
@@ -185,6 +202,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nEvery negotiation terminated; soft state drained to zero"
               " after the final quiescent period.\n");
+  if (memory_report) {
+    std::printf("\nMemory accounts (drop=%.0f%% run):\n",
+                drops.back() * 100);
+    memstats.write_text(std::cout);
+    if (!metrics_path.empty()) memstats.export_metrics(metrics);
+  }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     metrics.write_json(out);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bgp/route.hpp"
+#include "common/memtrack.hpp"
 
 namespace miro::bgp {
 
@@ -42,6 +43,10 @@ class RoutingTree {
   NodeId ingress_neighbor(NodeId node) const;
 
   std::size_t reachable_count() const;
+
+  /// Resident byte footprint of the per-node entry array (capacity-based,
+  /// deterministic): the denominator side of bytes_per_route bench rows.
+  std::uint64_t memory_bytes() const { return vector_bytes(entries_); }
 
  private:
   friend class StableRouteSolver;

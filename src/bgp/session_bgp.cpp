@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "common/memtrack.hpp"
 
 namespace miro::bgp {
 
@@ -471,6 +473,33 @@ void SessionedBgpNetwork::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".delivered_withdrawals")
       .set(stats_.delivered_withdrawals);
   registry.counter(prefix + ".lost_in_flight").set(stats_.lost_in_flight);
+}
+
+SessionedBgpNetwork::RibFootprint SessionedBgpNetwork::rib_footprint() const {
+  // Red-black tree node: three child/parent pointers plus the color word,
+  // preceding the value (libstdc++ _Rb_tree_node layout).
+  auto set_bytes = [](const auto& set) {
+    using Value = typename std::decay_t<decltype(set)>::value_type;
+    return static_cast<std::uint64_t>(set.size()) *
+           (sizeof(Value) + 4 * sizeof(void*));
+  };
+  RibFootprint fp;
+  fp.rib_bytes += vector_bytes(speakers_);
+  for (const Speaker& speaker : speakers_) {
+    fp.routes += speaker.adj_in.size();
+    std::uint64_t paths = 0;
+    for (const auto& [from, path] : speaker.adj_in)
+      paths += vector_bytes(path);
+    fp.aspath_bytes += paths;
+    std::uint64_t bytes = hash_map_bytes(speaker.adj_in) + paths;
+    bytes += set_bytes(speaker.advertised_to);
+    bytes += hash_map_bytes(speaker.sessions);
+    for (const auto& [to, out] : speaker.sessions)
+      bytes += vector_bytes(out.pending) + vector_bytes(out.last_sent);
+    bytes += hash_map_bytes(speaker.damping);
+    fp.rib_bytes += bytes;
+  }
+  return fp;
 }
 
 }  // namespace miro::bgp

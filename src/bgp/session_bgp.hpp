@@ -29,6 +29,7 @@
 // the same prefix (a hijack) — the event taxonomy src/churn replays.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <set>
@@ -181,6 +182,21 @@ class SessionedBgpNetwork {
   /// The damping penalty decayed to the current simulation time; 0 when
   /// damping is disabled or the pair has no history.
   double damping_penalty_of(NodeId node, NodeId from) const;
+
+  /// Byte footprint of all speakers' per-neighbor RIB state, computed by a
+  /// deterministic capacity walk (common/memtrack.hpp conventions; the
+  /// node-based sets and maps are estimates at libstdc++ overheads).
+  struct RibFootprint {
+    std::uint64_t routes = 0;        ///< Adj-RIB-In entries network-wide
+    std::uint64_t aspath_bytes = 0;  ///< stored AS-path vectors only
+    std::uint64_t rib_bytes = 0;     ///< all speaker state incl. sessions
+    double bytes_per_route() const {
+      return routes == 0 ? 0.0
+                         : static_cast<double>(rib_bytes) /
+                               static_cast<double>(routes);
+    }
+  };
+  RibFootprint rib_footprint() const;
 
   /// UPDATE/WITHDRAW copies scheduled but not yet delivered (or lost).
   std::size_t messages_in_flight() const { return messages_in_flight_; }

@@ -7,6 +7,7 @@
 
 #include "bgp/route.hpp"
 #include "bgp/route_solver.hpp"
+#include "common/memtrack.hpp"
 
 namespace miro::churn {
 
@@ -323,6 +324,17 @@ void InvariantChecker::check_solver(sim::Time now) {
               path_string(expected));
     }
   }
+}
+
+std::uint64_t InvariantChecker::memory_bytes() const {
+  std::uint64_t bytes = vector_bytes(shadow_);
+  for (const auto& rib : shadow_) {
+    bytes += hash_map_bytes(rib);
+    for (const auto& [from, path] : rib) bytes += vector_bytes(path);
+  }
+  bytes += hash_map_bytes(tunnel_bad_since_);
+  bytes += hash_map_bytes(tunnel_reported_);
+  return bytes;
 }
 
 }  // namespace miro::churn

@@ -92,6 +92,12 @@ class InvariantChecker {
   const std::vector<ChurnViolation>& violations() const { return violations_; }
   const CheckerStats& stats() const { return stats_; }
 
+  /// Byte footprint of the shadow Adj-RIB-In and tunnel bookkeeping
+  /// (capacity walk, deterministic) — the checker mirrors every delivered
+  /// path, so replays pay for their RIBs twice; this makes the second copy
+  /// visible in the memory account table.
+  std::uint64_t memory_bytes() const;
+
  private:
   void add(const char* property, sim::Time now, std::string detail);
   void check_shadow(sim::Time now);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/memstats.hpp"
 
 namespace miro::churn {
 
@@ -112,6 +113,14 @@ ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
       if (checkpoint_due) {
         result.scheduler_events += scheduler.run_until(next_checkpoint);
         checker.check(scheduler.now());
+        // Refresh the RIB accounts at checkpoint cadence so their peaks
+        // track churn-driven growth, not just the drained end state. A
+        // capacity walk of replay-determined containers — reads only.
+        if (obs::MemoryRegistry* mem = obs::memory()) {
+          mem->account("bgp/rib").set_current(
+              network.rib_footprint().rib_bytes);
+          mem->account("churn/checker").set_current(checker.memory_bytes());
+        }
         next_checkpoint += config.checkpoint_interval;
         continue;
       }
@@ -162,6 +171,12 @@ ReplayResult replay_churn(const topo::AsGraph& graph, const ChurnTrace& trace,
   result.violations = checker.violations();
   result.checker = checker.stats();
   result.final_time = scheduler.now();
+  result.rib = network.rib_footprint();
+  result.checker_bytes = checker.memory_bytes();
+  if (obs::MemoryRegistry* mem = obs::memory()) {
+    mem->account("bgp/rib").set_current(result.rib.rib_bytes);
+    mem->account("churn/checker").set_current(result.checker_bytes);
+  }
   return result;
 }
 

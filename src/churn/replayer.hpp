@@ -70,6 +70,11 @@ struct ReplayResult {
   sim::Time final_time = 0;            ///< sim time when fully drained
   std::size_t scheduler_events = 0;    ///< events fired over the replay
   std::size_t tunnels_torn = 0;        ///< monitor teardowns (route changes)
+  /// Deterministic end-state footprint of the speakers' RIB state (capacity
+  /// walk at drain time) and of the checker's shadow copy — the numbers
+  /// behind the churn benches' bytes_per_route rows.
+  bgp::SessionedBgpNetwork::RibFootprint rib;
+  std::uint64_t checker_bytes = 0;
 
   bool ok() const { return violations.empty(); }
 };

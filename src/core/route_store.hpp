@@ -3,19 +3,29 @@
 // Both the control-plane agents and the evaluation harness need the stable
 // routes toward many destinations; solving is cheap (one Dijkstra-style pass
 // per destination) but worth caching across agents within a scenario.
+//
+// The cache is the eval pipeline's dominant heap consumer (one Entry per AS
+// per destination), so it participates in the memory observability layer
+// both ways: the map's own nodes are tagged live through a
+// CountingAllocator when a MemCounters account is passed at construction
+// (null = untracked, zero cost beyond one branch per allocation), and
+// memory_bytes() walks the cached trees for the deterministic footprint the
+// bench rows report.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
 
 #include "bgp/route_solver.hpp"
+#include "common/memtrack.hpp"
 
 namespace miro::core {
 
 class RouteStore {
  public:
-  explicit RouteStore(const topo::AsGraph& graph)
-      : solver_(graph) {}
+  explicit RouteStore(const topo::AsGraph& graph,
+                      MemCounters* counters = nullptr)
+      : solver_(graph), trees_(TreeAlloc(counters)) {}
 
   /// The stable routing tree toward `destination`, solved on first use.
   const bgp::RoutingTree& tree(topo::NodeId destination) {
@@ -29,12 +39,32 @@ class RouteStore {
     return *it->second;
   }
 
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Resident byte footprint of the cache: the map's nodes plus every
+  /// cached tree's entry array. Capacity-based and deterministic for a
+  /// given solve sequence.
+  std::uint64_t memory_bytes() const {
+    std::uint64_t bytes = hash_map_bytes(trees_);
+    for (const auto& [destination, tree] : trees_)
+      bytes += sizeof(bgp::RoutingTree) + tree->memory_bytes();
+    return bytes;
+  }
+
   const bgp::StableRouteSolver& solver() const { return solver_; }
   const topo::AsGraph& graph() const { return solver_.graph(); }
 
  private:
+  using TreeMap =
+      std::unordered_map<topo::NodeId, std::unique_ptr<bgp::RoutingTree>,
+                         std::hash<topo::NodeId>, std::equal_to<topo::NodeId>,
+                         CountingAllocator<std::pair<
+                             const topo::NodeId,
+                             std::unique_ptr<bgp::RoutingTree>>>>;
+  using TreeAlloc = TreeMap::allocator_type;
+
   bgp::StableRouteSolver solver_;
-  std::unordered_map<topo::NodeId, std::unique_ptr<bgp::RoutingTree>> trees_;
+  TreeMap trees_;
 };
 
 }  // namespace miro::core

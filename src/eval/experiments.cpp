@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/memtrack.hpp"
 #include "common/parallel.hpp"
+#include "obs/memstats.hpp"
 #include "obs/profile.hpp"
 
 namespace miro::eval {
@@ -35,6 +37,26 @@ ExperimentPlan::ExperimentPlan(const EvalConfig& config) : config_(config) {
       });
   trees_.reserve(destinations_.size());
   for (auto& tree : solved) trees_.push_back(std::move(*tree));
+
+  // Walk-account the plan's two memory-dominant owners. A capacity walk of
+  // identically-constructed containers, so the accounts (and the bench rows
+  // derived from them) are bit-identical at any --threads count.
+  if (obs::MemoryRegistry* mem = obs::memory()) {
+    mem->account("topology/graph").set_current(graph_->memory_bytes());
+    mem->account("eval/trees").set_current(trees_memory_bytes());
+  }
+}
+
+std::uint64_t ExperimentPlan::trees_memory_bytes() const {
+  std::uint64_t bytes = vector_bytes(trees_) + vector_bytes(destinations_);
+  for (const RoutingTree& tree : trees_) bytes += tree.memory_bytes();
+  return bytes;
+}
+
+std::uint64_t ExperimentPlan::route_count() const {
+  std::uint64_t routes = 0;
+  for (const RoutingTree& tree : trees_) routes += tree.reachable_count();
+  return routes;
 }
 
 std::vector<SampledPair> ExperimentPlan::sample_pairs(

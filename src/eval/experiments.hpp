@@ -71,6 +71,12 @@ class ExperimentPlan {
 
   const EvalConfig& config() const { return config_; }
 
+  /// Deterministic footprint of the plan's routing state (capacity walk over
+  /// the solved trees and destination list), and the route count behind the
+  /// bytes_per_route bench rows: one route per reachable (node, tree) pair.
+  std::uint64_t trees_memory_bytes() const;
+  std::uint64_t route_count() const;
+
  private:
   EvalConfig config_;
   std::unique_ptr<AsGraph> graph_;

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -104,22 +105,29 @@ std::size_t MetricsRegistry::size() const {
 }
 
 void MetricsRegistry::write_text(std::ostream& out) const {
-  TextTable table({"metric", "kind", "value", "detail"});
+  // One table section with every kind interleaved in name order, so a
+  // counter and the gauges derived from it (e.g. profile .count next to
+  // .total_ms) read as one aligned block instead of three disjoint runs.
+  std::vector<std::vector<std::string>> rows;
   for (const auto& [name, counter] : counters_) {
-    table.add_row({name, "counter", std::to_string(counter.value()), ""});
+    rows.push_back({name, "counter", std::to_string(counter.value()), ""});
   }
   for (const auto& [name, gauge] : gauges_) {
-    table.add_row({name, "gauge", TextTable::num(gauge.value()), ""});
+    rows.push_back({name, "gauge", TextTable::num(gauge.value()), ""});
   }
   for (const auto& [name, histogram] : histograms_) {
-    table.add_row({name, "histogram", std::to_string(histogram.count()),
-                   "min=" + TextTable::num(histogram.min()) +
-                       " mean=" + TextTable::num(histogram.mean()) +
-                       " p50=" + TextTable::num(histogram.p50()) +
-                       " p90=" + TextTable::num(histogram.p90()) +
-                       " p99=" + TextTable::num(histogram.p99()) +
-                       " max=" + TextTable::num(histogram.max())});
+    rows.push_back({name, "histogram", std::to_string(histogram.count()),
+                    "min=" + TextTable::num(histogram.min()) +
+                        " mean=" + TextTable::num(histogram.mean()) +
+                        " p50=" + TextTable::num(histogram.p50()) +
+                        " p90=" + TextTable::num(histogram.p90()) +
+                        " p99=" + TextTable::num(histogram.p99()) +
+                        " max=" + TextTable::num(histogram.max())});
   }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  TextTable table({"metric", "kind", "value", "detail"});
+  for (auto& row : rows) table.add_row(std::move(row));
   table.print(out);
 }
 

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/memstats.hpp"
 
 namespace miro::obs {
 
@@ -124,6 +125,15 @@ void ProfileRegistry::end_span() {
                       static_cast<std::uint32_t>(stack_.size())});
   } else {
     ++dropped_;
+  }
+
+  // Process-RSS sampling piggybacks on top-level span boundaries: phase
+  // granularity without its own timer. Worker threads' per-chunk registries
+  // see a null memory() (sampling is whole-process state and belongs to the
+  // attaching thread), and with no memory registry attached the cost is the
+  // null check.
+  if (stack_.empty()) {
+    if (MemoryRegistry* mem = memory()) mem->sample_rss();
   }
 }
 

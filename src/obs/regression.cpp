@@ -16,12 +16,22 @@ bool is_perf_unit(const std::string& unit) {
   return false;
 }
 
-namespace {
-
-/// Lower values are better for time units, higher for rates.
-bool higher_is_worse(const std::string& unit) {
-  return !(unit.size() >= 2 && unit.compare(unit.size() - 2, 2, "/s") == 0);
+bool is_memory_unit(const std::string& unit) {
+  return unit == "bytes" ||
+         (unit.size() > 6 && unit.compare(0, 6, "bytes/") == 0);
 }
+
+RowKind classify_unit(const std::string& unit) {
+  if (is_perf_unit(unit)) {
+    const bool rate =
+        unit.size() >= 2 && unit.compare(unit.size() - 2, 2, "/s") == 0;
+    return rate ? RowKind::Rate : RowKind::Time;
+  }
+  if (is_memory_unit(unit)) return RowKind::Memory;
+  return RowKind::Value;
+}
+
+namespace {
 
 const JsonValue& bench_map(const JsonValue& doc) {
   require(doc.is_object(), "regression: snapshot is not a JSON object");
@@ -34,6 +44,13 @@ std::size_t RegressionReport::regressions() const {
   std::size_t n = 0;
   for (const RegressionRow& row : rows)
     if (row.regressed) ++n;
+  return n;
+}
+
+std::size_t RegressionReport::regressions(RowKind kind) const {
+  std::size_t n = 0;
+  for (const RegressionRow& row : rows)
+    if (row.regressed && row.kind == kind) ++n;
   return n;
 }
 
@@ -77,6 +94,7 @@ RegressionReport compare_bench_json(const JsonValue& baseline,
       // matching so a nan in both snapshots doesn't wedge the gate.
       const JsonValue& bv = base_row.at("value");
       const JsonValue& cv = cur_row->at("value");
+      row.kind = classify_unit(row.unit);
       if (bv.is_null() || cv.is_null()) {
         row.gated = false;
         report.rows.push_back(row);
@@ -87,18 +105,27 @@ RegressionReport compare_bench_json(const JsonValue& baseline,
       row.change = row.baseline == 0
                        ? (row.current == 0 ? 0 : 1.0)
                        : (row.current - row.baseline) / std::abs(row.baseline);
-      row.gated = is_perf_unit(row.unit);
+      const bool perf = row.kind == RowKind::Time || row.kind == RowKind::Rate;
       if (options.values_only) {
         // Determinism gate: wall-clock rows are expected to differ across
-        // thread counts; everything else must be bit-identical.
-        if (!row.gated) row.regressed = row.current != row.baseline;
-        row.gated = !row.gated;
-      } else if (row.gated) {
+        // thread counts; memory rows are deterministic walks and value rows
+        // are reproduction outputs — both must be bit-identical.
+        row.gated = !perf;
+        if (row.gated) row.regressed = row.current != row.baseline;
+      } else if (perf) {
+        row.gated = true;
         if (std::abs(row.baseline) >= options.min_magnitude) {
           const double worse =
-              higher_is_worse(row.unit) ? row.change : -row.change;
+              row.kind == RowKind::Rate ? -row.change : row.change;
           row.regressed = worse > options.threshold;
         }
+      } else if (row.kind == RowKind::Memory) {
+        row.gated = true;
+        const double growth = row.current - row.baseline;
+        if (std::abs(row.baseline) >= options.memory_min_magnitude)
+          row.regressed = row.change > options.memory_threshold;
+        if (options.memory_abs_limit > 0 && growth > options.memory_abs_limit)
+          row.regressed = true;
       } else if (options.check_values) {
         row.regressed = std::abs(row.change) > options.threshold;
       }
@@ -140,7 +167,13 @@ void RegressionReport::write_text(std::ostream& out) const {
     out << "perf gate OK: " << rows.size() << " rows compared, no row worse "
         << "than the threshold\n";
   } else {
-    out << "perf gate FAIL: " << regressions() << " regressed row(s), "
+    // Every violation is listed above; the exit line gives the triage
+    // breakdown so a mixed memory+time regression is obvious at a glance.
+    out << "perf gate FAIL: " << regressions() << " regressed row(s) (time "
+        << regressions(RowKind::Time) << ", rate "
+        << regressions(RowKind::Rate) << ", memory "
+        << regressions(RowKind::Memory) << ", value "
+        << regressions(RowKind::Value) << "), "
         << missing_rows.size() + missing_benches.size() << " missing\n";
   }
 }

@@ -8,12 +8,18 @@
 //               "profile":{...}}}}
 // This module compares such a snapshot against a checked-in baseline
 // (BENCH_PR3.json) and fails on regressions beyond a relative threshold.
-// A row's *unit* decides its direction: time units (ns/us/ms/s) regress
-// upward, rate units (anything ending in "/s") regress downward, and all
-// other rows are compared informationally only (counts and success rates
-// are deterministic reproduction outputs, not perf — they drift when
-// behaviour changes, which the report surfaces without failing the gate
-// unless `check_values` is set).
+// A row's *unit* decides its kind and direction: time units (ns/us/ms/s)
+// regress upward, rate units (anything ending in "/s") regress downward,
+// memory units ("bytes" or "bytes/..." derivatives like bytes/route) regress
+// upward under their own relative threshold plus an optional absolute-growth
+// ceiling, and all other rows are compared informationally only (counts and
+// success rates are deterministic reproduction outputs, not perf — they
+// drift when behaviour changes, which the report surfaces without failing
+// the gate unless `check_values` is set).
+//
+// Memory rows are derived from deterministic container walks (never RSS),
+// so under `values_only` they are held to exact equality like value rows —
+// a byte row that differs across thread counts is a real bug.
 #pragma once
 
 #include <iosfwd>
@@ -25,29 +31,51 @@
 namespace miro::obs {
 
 struct RegressionOptions {
-  /// Relative slowdown tolerated on gated rows: fail when
+  /// Relative slowdown tolerated on perf-gated rows: fail when
   /// worse-direction change exceeds `threshold` (0.25 = +25%).
   double threshold = 0.25;
-  /// Ignore gated rows whose baseline magnitude is below this (relative
-  /// noise on a 0.4ms row is meaningless).
+  /// Ignore perf-gated rows whose baseline magnitude is below this
+  /// (relative noise on a 0.4ms row is meaningless).
   double min_magnitude = 1.0;
+  /// Relative growth tolerated on memory-unit rows. Byte rows come from
+  /// deterministic walks, so this can stay tight even where the time
+  /// threshold is loosened for noisy shared runners.
+  double memory_threshold = 0.25;
+  /// Ignore memory rows whose baseline is below this many bytes (or
+  /// bytes-per-unit for derived rows).
+  double memory_min_magnitude = 64.0;
+  /// Absolute ceiling on memory-row growth in the row's own unit: any
+  /// increase beyond this many bytes fails even when the relative change is
+  /// inside memory_threshold (catches "only +10%" on a huge account).
+  /// 0 disables the ceiling.
+  double memory_abs_limit = 0.0;
   /// Also fail when a non-gated (unitless/count) row's value drifts.
   bool check_values = false;
   /// Determinism mode: perf (time/rate) rows become informational and every
-  /// other row must match EXACTLY — the contract that two runs of the same
-  /// suite at different --threads counts produce identical results.
-  /// Missing rows/benches still fail. Overrides threshold/check_values.
+  /// other row — including memory rows, which are deterministic walks —
+  /// must match EXACTLY; the contract that two runs of the same suite at
+  /// different --threads counts produce identical results. Missing
+  /// rows/benches still fail. Overrides threshold/check_values.
   bool values_only = false;
+};
+
+/// Row classification by unit, deciding threshold and direction.
+enum class RowKind {
+  Time,    ///< ns/us/ms/s — higher is worse
+  Rate,    ///< anything ending in "/s" — lower is worse
+  Memory,  ///< "bytes" or "bytes/..." — higher is worse, own thresholds
+  Value,   ///< everything else — informational unless check_values
 };
 
 struct RegressionRow {
   std::string bench;
   std::string name;
   std::string unit;
+  RowKind kind = RowKind::Value;
   double baseline = 0;
   double current = 0;
   double change = 0;       ///< signed relative change, + = larger value
-  bool gated = false;      ///< unit classified as perf (time or rate)
+  bool gated = false;      ///< held to a threshold under current options
   bool regressed = false;  ///< beyond threshold in the worse direction
 };
 
@@ -59,14 +87,21 @@ struct RegressionReport {
   bool ok() const { return regressions() == 0 && missing_rows.empty() &&
                            missing_benches.empty(); }
   std::size_t regressions() const;
+  /// Regressed rows of one kind (for the per-kind triage summary).
+  std::size_t regressions(RowKind kind) const;
 
-  /// Human-readable verdict table (regressed rows first, then the worst
-  /// movers), ending with an OK/FAIL line.
+  /// Human-readable verdict table listing EVERY violation (regressed rows
+  /// first, then the worst movers), ending with an OK/FAIL line that breaks
+  /// the violation count down by row kind.
   void write_text(std::ostream& out) const;
 };
 
-/// True when rows with this unit are gated by the threshold.
+/// True when rows with this unit are perf-gated (time or rate).
 bool is_perf_unit(const std::string& unit);
+/// True for byte-denominated rows ("bytes", "bytes/route", "bytes/edge").
+bool is_memory_unit(const std::string& unit);
+/// Unit → row kind (perf wins over memory, so "bytes/s" stays a rate).
+RowKind classify_unit(const std::string& unit);
 
 /// Compares two merged suite documents (see format above). Throws
 /// miro::Error when either document is structurally malformed.

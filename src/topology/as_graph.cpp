@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/memtrack.hpp"
+
 namespace miro::topo {
 
 const char* to_string(Relationship rel) {
@@ -107,6 +109,13 @@ bool AsGraph::is_multi_homed_stub(NodeId id) const {
   for (const Neighbor& n : adjacency_[id])
     if (n.rel == Relationship::Provider) ++providers;
   return providers >= 2;
+}
+
+std::uint64_t AsGraph::memory_bytes() const {
+  std::uint64_t bytes = vector_bytes(as_numbers_) + vector_bytes(adjacency_) +
+                        hash_map_bytes(index_);
+  for (const auto& list : adjacency_) bytes += vector_bytes(list);
+  return bytes;
 }
 
 }  // namespace miro::topo

@@ -99,6 +99,13 @@ class AsGraph {
   /// Multi-homed: connected to more than one provider.
   bool is_multi_homed_stub(NodeId id) const;
 
+  /// Resident byte footprint of the graph's containers, computed from
+  /// capacities (reserved storage counts). Deterministic for a given
+  /// construction sequence — the number behind every bytes_per_edge bench
+  /// row, and ROADMAP item 1's before/after instrument for the CSR
+  /// adjacency refactor.
+  std::uint64_t memory_bytes() const;
+
  private:
   void check_node(NodeId id) const {
     require(id < as_numbers_.size(), "AsGraph: node id out of range");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/memstats.hpp"
 #include "obs/profile.hpp"
 
 namespace miro::topo {
@@ -151,6 +152,8 @@ AsGraph generate(const GeneratorParams& params) {
     ++added_siblings;
   }
 
+  if (obs::MemoryRegistry* mem = obs::memory())
+    mem->account("topology/graph").set_current(graph.memory_bytes());
   return graph;
 }
 

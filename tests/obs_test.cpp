@@ -329,6 +329,52 @@ TEST(MetricsRegistry, JsonSnapshotIsDeterministicAndComplete) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(MetricsRegistry, GoldenCombinedTextAndJsonExport) {
+  // Golden snapshot of both exporters over one registry mixing all three
+  // kinds with interleaving names. Pins down (a) the text exporter's single
+  // merged table: every kind in ONE section, rows sorted by name so a
+  // histogram lands between the gauges and counters it belongs with, with
+  // the p50/p90/p99 detail inline; (b) the JSON schema with per-kind
+  // sections and full quantile rows. Any formatting change must be a
+  // deliberate golden update.
+  MetricsRegistry registry;
+  registry.counter("bgp.updates").set(12);
+  registry.gauge("bgp.rib_bytes").set(4096);
+  registry.histogram("bgp.convergence").observe(3.0);
+  registry.histogram("bgp.convergence").observe(40.0);
+  registry.counter("memory.rss_samples").set(2);
+  registry.gauge("memory.tracked_bytes").set(6144);
+
+  std::ostringstream text;
+  registry.write_text(text);
+  const std::string golden_text =
+      "| metric               | kind      | value   | detail              "
+      "                                       |\n"
+      "|----------------------|-----------|---------|---------------------"
+      "---------------------------------------|\n"
+      "| bgp.convergence      | histogram | 2       | min=3.00 mean=21.50 "
+      "p50=3.00 p90=40.00 p99=40.00 max=40.00 |\n"
+      "| bgp.rib_bytes        | gauge     | 4096.00 |                     "
+      "                                       |\n"
+      "| bgp.updates          | counter   | 12      |                     "
+      "                                       |\n"
+      "| memory.rss_samples   | counter   | 2       |                     "
+      "                                       |\n"
+      "| memory.tracked_bytes | gauge     | 6144.00 |                     "
+      "                                       |\n";
+  EXPECT_EQ(text.str(), golden_text);
+
+  std::ostringstream json;
+  registry.write_json(json);
+  const std::string golden_json =
+      R"({"counters":{"bgp.updates":12,"memory.rss_samples":2},)"
+      R"("gauges":{"bgp.rib_bytes":4096,"memory.tracked_bytes":6144},)"
+      R"("histograms":{"bgp.convergence":{"count":2,"sum":43,"min":3,)"
+      R"("max":40,"p50":3,"p90":40,"p99":40,"underflow":0,)"
+      R"("buckets":[0,1,0,0,0,1]}}})";
+  EXPECT_EQ(json.str(), golden_json);
+}
+
 TEST(MetricsRegistry, TextTableListsEveryMetric) {
   MetricsRegistry registry;
   registry.counter("negotiations").set(30);

@@ -3,7 +3,7 @@
 //   miro_ribmon [--topo figure31|<profile>] [--scale X] [--seed N]
 //               [--episodes N] [--duration T] [--defend] [--mrai N]
 //               [--load PATH] [--events PATH] [--summary PATH]
-//               [--chrome-trace PATH] [--json]
+//               [--chrome-trace PATH] [--json] [--memory]
 //
 // Replays a churn trace (generated from the seed, or --load'ed from a saved
 // JSON script) with a RibMonitor attached to the sessioned BGP plane, then:
@@ -32,6 +32,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/memstats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ribmon.hpp"
 #include "topology/generator.hpp"
@@ -66,7 +67,7 @@ struct Figure31 {
                "usage: %s [--topo figure31|<profile>] [--scale X] [--seed N] "
                "[--episodes N] [--duration T] [--defend] [--mrai N] "
                "[--load PATH] [--events PATH] [--summary PATH] "
-               "[--chrome-trace PATH] [--json]\n",
+               "[--chrome-trace PATH] [--json] [--memory]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
   double scale = 0.15;
   std::string load_path, events_path, summary_path, chrome_path;
   bool json = false;
+  bool memory_report = false;
   churn::ChurnTraceConfig trace_config;
   trace_config.duration = 8000;
   trace_config.episodes = 24;
@@ -122,6 +124,7 @@ int main(int argc, char** argv) {
     else if (flag == "--summary") summary_path = value();
     else if (flag == "--chrome-trace") chrome_path = value();
     else if (flag == "--json") json = true;
+    else if (flag == "--memory") memory_report = true;
     else usage(argv[0]);
   }
 
@@ -143,10 +146,22 @@ int main(int argc, char** argv) {
       trace = churn::generate_churn_trace(*graph, destination, trace_config);
     }
 
+    // With --memory the replay runs with a registry attached: the graph
+    // generator and replay checkpoints keep the per-subsystem accounts
+    // current, and RSS is sampled once at the end of the run.
+    obs::MemoryRegistry memstats;
+    if (memory_report) {
+      obs::set_memory(&memstats);
+      memstats.account("topology/graph").set_current(graph->memory_bytes());
+    }
     obs::RibMonitor monitor;
     replay_config.ribmon = &monitor;
     const churn::ReplayResult result =
         churn::replay_churn(*graph, trace, replay_config);
+    if (memory_report) {
+      memstats.sample_rss();
+      obs::set_memory(nullptr);
+    }
 
     if (!events_path.empty()) {
       std::ofstream out(events_path);
@@ -207,6 +222,7 @@ int main(int argc, char** argv) {
 
     obs::MetricsRegistry registry;
     obs::export_ribmon_metrics(monitor, registry);
+    if (memory_report) memstats.export_metrics(registry);
 
     if (!summary_path.empty() || json) {
       JsonValue doc = JsonValue::make_object();
@@ -298,6 +314,11 @@ int main(int argc, char** argv) {
                   "%s/1000 ticks\n",
                   convergence.total_best_changes, convergence.actors.size(),
                   TextTable::num(convergence.churn_rate()).c_str());
+
+      if (memory_report) {
+        std::printf("\nmemory accounts:\n");
+        memstats.write_text(std::cout);
+      }
 
       std::printf("\nclosed accounting:\n");
       for (const AccountingRow& row : accounting) {
