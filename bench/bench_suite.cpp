@@ -52,6 +52,7 @@ const BenchSpec kBenches[] = {
     {"bench_inference_accuracy", true},
     {"bench_overhead_messages", true},
     {"bench_churn_convergence", true},
+    {"bench_verify_fixpoint", true},
 };
 
 struct SuiteArgs {

@@ -11,9 +11,56 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 
+#include "analysis/symbolic_routes.hpp"
 #include "bench_common.hpp"
 #include "eval/avoid_as.hpp"
+
+namespace {
+
+// Layer-3 cross-check: the fraction of sampled avoid tuples where the
+// symbolic engine's static prediction matches the simulated procedure on
+// every observable (success, plain-BGP success, and both negotiation
+// footprint counters) under all three export policies. The gate expects
+// exactly 1.0 — any disagreement is a bug in one plane or the other.
+double static_agreement(const miro::eval::ExperimentPlan& plan) {
+  const miro::analysis::SymbolicRouteEngine engine(plan.graph());
+  const miro::core::AlternatesEngine alternates(plan.solver());
+  std::map<std::size_t, miro::analysis::SymbolicRouteMap> maps;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (const miro::eval::SampledTuple& tuple :
+       plan.sample_tuples(plan.config().sources_per_destination)) {
+    const auto [it, inserted] = maps.try_emplace(tuple.tree_index);
+    if (inserted) it->second = engine.solve(tuple.destination);
+    const miro::analysis::SymbolicRouteMap& map = it->second;
+    // A tuple whose default path already differs between the planes counts
+    // as full disagreement (predict_avoid requires the avoided AS on *its*
+    // path, so it cannot be asked).
+    if (map.path_of(tuple.source) !=
+        plan.tree(tuple.tree_index).path_of(tuple.source)) {
+      total += 3;
+      continue;
+    }
+    for (const miro::core::ExportPolicy policy : miro::core::kAllPolicies) {
+      const auto simulated = alternates.avoid_as(
+          plan.tree(tuple.tree_index), tuple.source, tuple.avoid, policy);
+      const auto predicted =
+          engine.predict_avoid(map, tuple.source, tuple.avoid, policy);
+      ++total;
+      if (predicted.success == simulated.success &&
+          predicted.bgp_success == simulated.bgp_success &&
+          predicted.ases_contacted == simulated.ases_contacted &&
+          predicted.paths_received == simulated.paths_received)
+        ++agree;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -42,6 +89,9 @@ int main(int argc, char** argv) {
       json.add(profile + ".multi_rate." + std::to_string(p),
                result.multi_rate[p], "fraction");
     }
+    const double agree = static_agreement(plan);
+    std::cout << "static/simulated agreement: " << agree << "\n\n";
+    json.add(profile + ".static_agree", agree, "fraction");
   }
   miro::obs::set_memory(nullptr);
   miro::obs::set_profile(nullptr);

@@ -1,0 +1,86 @@
+// Layer-3 verification cost: how long the symbolic fixpoints take on the
+// paper topologies, how much per-node state they hold, and — the gate that
+// matters — whether the static plane still bit-matches the simulator.
+//
+// Rows per profile:
+//   <p>.verify.fixpoint_ms    time to solve one symbolic fixpoint per
+//                             sampled destination (regression-gated)
+//   <p>.verify.state_bytes    capacity-walk bytes of those maps, also fed
+//                             into the analysis/symbolic memory account
+//                             (byte-row gated)
+//   <p>.verify.entry_agree    fraction of tree entries where the planes
+//                             agree — must be 1.0
+//   <p>.verify.avoid_agree    fraction of avoid tuples where the planes
+//                             agree — must be 1.0
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/symbolic_routes.hpp"
+#include "bench_common.hpp"
+#include "eval/experiments.hpp"
+
+int main(int argc, char** argv) {
+  try {
+  const auto args = miro::bench::BenchArgs::parse(argc, argv);
+  miro::obs::ProfileRegistry prof;
+  miro::obs::set_profile(&prof);
+  miro::obs::MemoryRegistry mem;
+  miro::obs::set_memory(&mem);
+  miro::bench::BenchJsonWriter json = args.json_writer();
+  json.set_profile(&prof);
+  json.set_memory(&mem);
+  for (const std::string& profile : args.profiles) {
+    const miro::eval::EvalConfig config = args.config_for(profile);
+    const miro::eval::ExperimentPlan plan(config);
+    miro::bench::add_memory_rows(json, profile, plan);
+    const miro::analysis::SymbolicRouteEngine engine(plan.graph());
+
+    // Timed region: one fixpoint per sampled destination (the same
+    // destinations the simulator plane solved), state bytes accumulated.
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t state_bytes = 0;
+    std::size_t sweeps = 0;
+    for (const miro::bgp::RoutingTree& tree : plan.trees()) {
+      const miro::analysis::SymbolicRouteMap map =
+          engine.solve(tree.destination());
+      state_bytes += map.memory_bytes();
+      sweeps += map.sweeps();
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    mem.account("analysis/symbolic").set_current(state_bytes);
+
+    // The correctness gate: the differential oracle on the same config.
+    miro::analysis::DifferentialOptions diff;
+    diff.seed = config.seed;
+    diff.destination_samples = config.destination_samples;
+    diff.sources_per_destination = config.sources_per_destination;
+    const miro::analysis::DifferentialOutcome outcome =
+        miro::analysis::differential_check(plan.graph(), diff, profile);
+
+    const double ms = static_cast<double>(elapsed.count()) / 1000.0;
+    std::cout << profile << ": " << plan.trees().size()
+              << " fixpoints in " << ms << " ms (" << sweeps
+              << " sweeps), " << state_bytes << " state bytes; differential: "
+              << outcome.entries << " entries, " << outcome.tuples
+              << " avoid tuples, " << outcome.entry_mismatches << "+"
+              << outcome.avoid_mismatches << " divergences\n";
+    if (!outcome.ok()) outcome.report.render_text(std::cerr);
+
+    json.add(profile + ".verify.fixpoint_ms", ms, "ms");
+    json.add(profile + ".verify.state_bytes",
+             static_cast<double>(state_bytes), "bytes");
+    json.add(profile + ".verify.entry_agree", outcome.entry_agree(),
+             "fraction");
+    json.add(profile + ".verify.avoid_agree", outcome.avoid_agree(),
+             "fraction");
+  }
+  miro::obs::set_memory(nullptr);
+  miro::obs::set_profile(nullptr);
+  return json.write() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

@@ -51,10 +51,10 @@ bgp::RouteClass path_class(const AsGraph& graph, const Path& path) {
   return bgp::RouteClass::Customer;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------- Guideline A
 
-/// Finds a cycle in the customer→provider relation, if any: a chain of ASes
-/// each of which is a provider of the previous one, returning to the start.
 std::optional<std::vector<NodeId>> find_provider_cycle(const AsGraph& graph) {
   enum : char { kWhite, kGrey, kBlack };
   std::vector<char> color(graph.node_count(), kWhite);
@@ -91,6 +91,8 @@ std::optional<std::vector<NodeId>> find_provider_cycle(const AsGraph& graph) {
   }
   return std::nullopt;
 }
+
+namespace {
 
 /// Returns the index of the first step that forms a valley, or nullopt when
 /// the path is valley-free (up* flat? down*, siblings transparent).

@@ -28,6 +28,7 @@
 // gadgets produce a concrete wheel.
 #pragma once
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -36,6 +37,15 @@
 #include "topology/as_graph.hpp"
 
 namespace miro::analysis {
+
+/// Guideline A's structural precondition, exposed for reuse by the layer-3
+/// symbolic engine: a cycle in the customer→provider relation, if any — a
+/// chain of ASes each of which is a provider of the previous one, returning
+/// to the start (first element repeated at the end). nullopt when the
+/// hierarchy is acyclic, i.e. the stable state exists and every fixpoint
+/// below terminates.
+std::optional<std::vector<topo::NodeId>> find_provider_cycle(
+    const topo::AsGraph& graph);
 
 /// Lints a full MIRO system. `label` names the system in diagnostics (e.g.
 /// "fig7.1:none" or a topology file path).

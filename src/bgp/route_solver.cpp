@@ -74,7 +74,8 @@ struct QueueItem {
 }  // namespace
 
 RoutingTree StableRouteSolver::run(NodeId destination, const PinnedRoute* pin,
-                                   const OriginPrepend* prepend) const {
+                                   const OriginPrepend* prepend,
+                                   NodeId exclude) const {
   obs::ScopedSpan span(obs::profile(), "bgp/solve_tree", "bgp");
   const AsGraph& graph = *graph_;
   require(destination < graph.node_count(),
@@ -103,6 +104,7 @@ RoutingTree StableRouteSolver::run(NodeId destination, const PinnedRoute* pin,
     // Export the newly finalized route to every neighbor the conventional
     // policy permits; the neighbor classifies it by the link it arrives on.
     for (const topo::Neighbor& n : graph.neighbors(item.node)) {
+      if (n.node == exclude) continue;  // the excised AS never selects
       if (tree.entries_[n.node].reachable) continue;
       // n.rel: what the neighbor is *to item.node* — exactly the argument
       // the export rule takes.
@@ -143,6 +145,13 @@ RoutingTree StableRouteSolver::solve_prepended(
   require(graph_->has_edge(destination, prepend.neighbor),
           "solve_prepended: prepend neighbor is not adjacent");
   return run(destination, nullptr, &prepend);
+}
+
+RoutingTree StableRouteSolver::solve_avoiding(NodeId destination,
+                                              NodeId avoid) const {
+  require(avoid != topo::kInvalidNode && avoid != destination,
+          "solve_avoiding: cannot avoid the destination");
+  return run(destination, nullptr, nullptr, avoid);
 }
 
 std::vector<Route> StableRouteSolver::candidates_at(const RoutingTree& tree,

@@ -99,6 +99,13 @@ class StableRouteSolver {
   RoutingTree solve_prepended(NodeId destination,
                               const OriginPrepend& prepend) const;
 
+  /// Stable routes toward `destination` with AS `avoid` excised from the
+  /// graph: it neither selects a route nor re-advertises one, so no path in
+  /// the result traverses it. This is the ground truth "could any policy at
+  /// all route around `avoid`" bound that the layer-3 symbolic engine's
+  /// poisoned fixpoint is differential-tested against.
+  RoutingTree solve_avoiding(NodeId destination, NodeId avoid) const;
+
   /// The candidate routes `node` learns from its neighbors under plain BGP in
   /// the stable state: each neighbor's best route, where the neighbor's
   /// conventional export policy allows it and the path is loop-free. This is
@@ -109,7 +116,8 @@ class StableRouteSolver {
 
  private:
   RoutingTree run(NodeId destination, const PinnedRoute* pin,
-                  const OriginPrepend* prepend) const;
+                  const OriginPrepend* prepend,
+                  NodeId exclude = topo::kInvalidNode) const;
 
   const AsGraph* graph_;
 };

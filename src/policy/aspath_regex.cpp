@@ -1,6 +1,7 @@
 #include "policy/aspath_regex.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/error.hpp"
 
@@ -243,6 +244,138 @@ bool AsPathRegex::language_empty() const {
     }
   }
   return true;  // accept state unreachable under every consistent witness
+}
+
+bool AsPathRegex::intersection_empty(const AsPathRegex& other,
+                                     std::size_t max_configs) const {
+  // Lock-step product of the two NFAs over one shared witness string. Each
+  // NFA owns a substring window of the witness (Cisco match-anywhere): in
+  // phase kBefore it has not started matching and ignores consumed
+  // characters, in phase kIn it must consume them through CharClass
+  // transitions, in phase kAfter it has accepted and ignores the rest. The
+  // witness abstraction is the same as language_empty() — what the last
+  // consumed character was, whether a `$` pinned the end, and whether a `_`
+  // taken after a digit still owes a space as the very next character (one
+  // shared bit: both NFAs' obligations refer to the same next character) —
+  // but consumption is enumerated over the concrete alphabet {' ','0'..'9'}
+  // so per-digit constraints stay exact instead of collapsing to "a digit".
+  enum Last : std::uint8_t { kStart, kSpace, kDigit };
+  enum Phase : std::uint8_t { kBefore, kIn, kAfter };
+  struct Cfg {
+    std::uint32_t state[2];
+    std::uint8_t phase[2];
+    std::uint8_t last;
+    bool must_end;
+    bool pending_space;
+  };
+  const AsPathRegex* nfa[2] = {this, &other};
+  const std::uint64_t sizes[2] = {states_.size(), other.states_.size()};
+  auto pack = [&](const Cfg& c) {
+    std::uint64_t key = 0;
+    for (int i = 0; i < 2; ++i)
+      key = (key * sizes[i] + c.state[i]) * 3 + c.phase[i];
+    return ((key * 3 + c.last) << 2) |
+           (static_cast<std::uint64_t>(c.must_end) << 1) |
+           static_cast<std::uint64_t>(c.pending_space);
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Cfg> stack{{{start_state_, other.start_state_},
+                          {kBefore, kBefore},
+                          kStart,
+                          false,
+                          false}};
+  // Canonical form: a kBefore/kAfter NFA parks on its start state so the
+  // phase alone identifies it.
+  stack.back().state[0] = 0;
+  stack.back().state[1] = 0;
+  seen.insert(pack(stack.back()));
+  auto push = [&](const Cfg& next) {
+    Cfg canon = next;
+    for (int i = 0; i < 2; ++i)
+      if (canon.phase[i] != kIn) canon.state[i] = 0;
+    if (seen.size() >= max_configs) return false;  // blowup guard
+    if (seen.insert(pack(canon)).second) stack.push_back(canon);
+    return true;
+  };
+
+  while (!stack.empty()) {
+    const Cfg cfg = stack.back();
+    stack.pop_back();
+    // Both windows closed: the witness string ends here (which discharges
+    // any pending `_`) and matches both patterns.
+    if (cfg.phase[0] == kAfter && cfg.phase[1] == kAfter) return false;
+
+    // Zero-width moves, one NFA at a time; interleavings are covered by the
+    // visited-set search.
+    for (int i = 0; i < 2; ++i) {
+      if (cfg.phase[i] == kBefore) {
+        // Open this NFA's window at the current position.
+        Cfg next = cfg;
+        next.phase[i] = kIn;
+        next.state[i] = nfa[i]->start_state_;
+        if (!push(next)) return false;
+      }
+      if (cfg.phase[i] != kIn) continue;
+      if (cfg.state[i] == nfa[i]->accept_state_) {
+        Cfg next = cfg;
+        next.phase[i] = kAfter;
+        if (!push(next)) return false;
+      }
+      for (const Transition& t : nfa[i]->states_[cfg.state[i]].out) {
+        Cfg next = cfg;
+        next.state[i] = t.target;
+        bool traversable = false;
+        switch (t.kind) {
+          case Transition::Kind::Epsilon: traversable = true; break;
+          case Transition::Kind::StartAnchor:
+            traversable = cfg.last == kStart;
+            break;
+          case Transition::Kind::EndAnchor:
+            traversable = true;
+            next.must_end = true;
+            next.pending_space = false;
+            break;
+          case Transition::Kind::Boundary:
+            traversable = true;
+            if (cfg.last == kDigit && !cfg.must_end) next.pending_space = true;
+            break;
+          case Transition::Kind::CharClass: break;  // handled below
+        }
+        if (traversable && !push(next)) return false;
+      }
+    }
+
+    // Consume one concrete character, shared by both windows.
+    if (cfg.must_end) continue;
+    static constexpr char kAlphabet[] = " 0123456789";
+    for (const char c : kAlphabet) {
+      if (c == '\0') break;
+      if (cfg.pending_space && c != ' ') continue;  // `_` owes a space
+      // Each NFA's possible states after consuming c: a kBefore/kAfter NFA
+      // lets the character pass; a kIn NFA needs an accepting transition.
+      std::vector<std::uint32_t> targets[2];
+      for (int i = 0; i < 2; ++i) {
+        if (cfg.phase[i] != kIn) {
+          targets[i].push_back(cfg.state[i]);
+          continue;
+        }
+        for (const Transition& t : nfa[i]->states_[cfg.state[i]].out)
+          if (t.accepts_char(c)) targets[i].push_back(t.target);
+      }
+      for (const std::uint32_t s0 : targets[0]) {
+        for (const std::uint32_t s1 : targets[1]) {
+          Cfg next = cfg;
+          next.state[0] = s0;
+          next.state[1] = s1;
+          next.last = c == ' ' ? kSpace : kDigit;
+          next.pending_space = false;
+          if (!push(next)) return false;
+        }
+      }
+    }
+  }
+  return true;  // no shared witness exists
 }
 
 std::string AsPathRegex::render(const std::vector<topo::AsNumber>& as_path) {

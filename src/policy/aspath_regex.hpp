@@ -51,6 +51,20 @@ class AsPathRegex {
   /// tracked symbolically, not approximated.
   bool language_empty() const;
 
+  /// Product-emptiness for the static analyzer: true when no rendered AS
+  /// path can match this pattern *and* `other` simultaneously. Runs the
+  /// two Thompson NFAs in lock-step over a shared witness string, each with
+  /// its own substring window (a before/in/after phase per NFA models the
+  /// Cisco match-anywhere semantics), consuming the concrete alphabet the
+  /// matcher sees — the ten digits plus the separator space — so digit
+  /// constraints (`^1$` vs `^2$`) are decided exactly, while `^`/`$`/`_`
+  /// assertions share the same witness abstraction language_empty() uses.
+  /// Conservative under the blowup guard: when the product explores more
+  /// than `max_configs` configurations it gives up and returns false
+  /// ("may intersect"), never a wrong "disjoint".
+  bool intersection_empty(const AsPathRegex& other,
+                          std::size_t max_configs = 1u << 20) const;
+
   /// Renders an AS path the way the matcher sees it.
   static std::string render(const std::vector<topo::AsNumber>& as_path);
 

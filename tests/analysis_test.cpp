@@ -6,6 +6,7 @@
 #include "analysis/convergence_lint.hpp"
 #include "analysis/diagnostics.hpp"
 #include "convergence/gadgets.hpp"
+#include "policy/aspath_regex.hpp"
 #include "policy/policy_config.hpp"
 #include "topology/as_graph.hpp"
 
@@ -398,6 +399,67 @@ TEST(ConvergenceLint, BadDestinationIsError) {
   const Report report =
       lint_system(gadget.graph, destinations, gadget.options, "fig7.1");
   EXPECT_TRUE(report.has("conv.system.bad-destination"));
+}
+
+// --------------------------------------------- automaton product emptiness
+
+// Layer 3's admissibility check rests on AsPathRegex::intersection_empty;
+// these pin its corner cases: digit-exact anchored disjointness, the
+// substring-window ("match anywhere") semantics, shared suffixes, symmetry,
+// and the conservative direction of the blowup guard.
+
+bool disjoint(std::string_view a, std::string_view b,
+              std::size_t max_configs = 1u << 20) {
+  const policy::AsPathRegex left{a};
+  const policy::AsPathRegex right{b};
+  // The product is symmetric; assert both directions agree while we're here.
+  const bool forward = left.intersection_empty(right, max_configs);
+  EXPECT_EQ(forward, right.intersection_empty(left, max_configs))
+      << a << " vs " << b;
+  return forward;
+}
+
+TEST(AsPathProduct, AnchoredDigitDisjointness) {
+  // Exactly "1" vs exactly "2": no shared word, decided per digit.
+  EXPECT_TRUE(disjoint("^1$", "^2$"));
+  EXPECT_FALSE(disjoint("^1$", "^1$"));
+  // "1 ..." vs "2 ...": first number already differs.
+  EXPECT_TRUE(disjoint("^1_", "^2_"));
+  // A word containing 12 can also be exactly 12.
+  EXPECT_FALSE(disjoint("_12_", "^12$"));
+  // Substring windows: some path contains both 7007 and 65010.
+  EXPECT_FALSE(disjoint("_7007_", "_65010_"));
+  // But a path that is exactly "2 3" never contains the number 1 on a
+  // boundary.
+  EXPECT_TRUE(disjoint("_1_", "^2 3$"));
+}
+
+TEST(AsPathProduct, EmptyComplementIntersectsNothing) {
+  // [a-z] matches no rendered AS path at all (the alphabet is digits and
+  // spaces), so even against .* the product is empty.
+  EXPECT_TRUE(policy::AsPathRegex("[a-z]").language_empty());
+  EXPECT_TRUE(disjoint("[a-z]", ".*"));
+  EXPECT_TRUE(disjoint(".*", "[a-z]"));
+  EXPECT_FALSE(disjoint(".*", ".*"));
+}
+
+TEST(AsPathProduct, LongSharedSuffixesStayJoint) {
+  // Both demand a long shared tail: the witness must thread both NFAs
+  // through every digit of the suffix.
+  EXPECT_FALSE(disjoint("_65001 65002 65003 65004$", "_65002 65003 65004$"));
+  EXPECT_FALSE(disjoint(".*65001 65002 65003$", "_65002 65003$"));
+  // Same long tails, but the last number differs in its final digit.
+  EXPECT_TRUE(disjoint("^65001 65002 65003$", "^65001 65002 65004$"));
+  // A fixed-exact word vs a longer suffix demand containing it.
+  EXPECT_TRUE(disjoint("^65003 65004$", "_65002 65003 65004$"));
+}
+
+TEST(AsPathProduct, BlowupGuardIsConservative) {
+  // With a tiny configuration budget the product gives up and answers
+  // "may intersect" — never a wrong "disjoint" — even on a pair whose
+  // product is provably empty.
+  EXPECT_TRUE(disjoint("^1$", "^2$"));
+  EXPECT_FALSE(disjoint("^1$", "^2$", 2));
 }
 
 }  // namespace

@@ -8,21 +8,28 @@
 //                                            is fig7.1 or fig7.2, optionally
 //                                            suffixed :none|:strict|:b|:c|:d|:e
 //                                            (default :none), or `all`
+//   miro_lint verify [--json] [options]      layer-3 network-wide symbolic
+//                                            verification (see verify usage)
 //
 // Exit status: 0 when no error-severity finding was produced, 1 when at
 // least one was, 2 on usage or I/O failure. Findings go to stdout, text by
 // default, one JSON document with --json.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/config_lint.hpp"
 #include "analysis/convergence_lint.hpp"
+#include "analysis/verify.hpp"
 #include "common/error.hpp"
 #include "convergence/gadgets.hpp"
 #include "policy/policy_config.hpp"
+#include "topology/generator.hpp"
 #include "topology/serialization.hpp"
 
 namespace {
@@ -35,7 +42,15 @@ int usage(std::ostream& out, int status) {
          "       miro_lint [--json] --topology <relationships-file>\n"
          "       miro_lint [--json] --gadget fig7.1[:<guideline>] | "
          "fig7.2[:<guideline>] | all\n"
-         "guidelines: none strict b c d e\n";
+         "       miro_lint verify [--json] [--profile <name>] [--scale <x>]\n"
+         "                 [--seed <n>] [--dests <n>] "
+         "[--topology <relationships-file>]\n"
+         "                 [--query reach:<src>:<dst> | "
+         "avoid:<src>:<dst>:<x>]... [--diff]\n"
+         "                 [--requester <conf> --responder <conf>]\n"
+         "guidelines: none strict b c d e\n"
+         "verify endpoints: AS numbers or synthetic addresses "
+         "10.<asn/256>.<asn%256>.0/24\n";
   return status;
 }
 
@@ -117,12 +132,128 @@ bool lint_gadget_arg(Report& report, const std::string& arg) {
   return true;
 }
 
+/// `miro_lint verify`: the layer-3 symbolic verification entry point. Runs
+/// network-wide verification over a generated profile or a loaded topology
+/// (plus any explicit --query), and negotiation admissibility over a
+/// --requester/--responder config pair. Same exit contract as the other
+/// modes: 1 on error findings, 2 on usage or I/O failure.
+int run_verify(const std::vector<std::string>& args) {
+  bool json = false;
+  bool want_network = false;
+  std::string profile = "gao2005";
+  double scale = 0.15;
+  std::string topology_file;
+  std::string requester_file;
+  std::string responder_file;
+  miro::analysis::VerifyOptions options;
+
+  Report report;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      auto value = [&]() -> const std::string& {
+        miro::require(i + 1 < args.size(), arg + " needs a value");
+        return args[++i];
+      };
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--profile") {
+        profile = value();
+        want_network = true;
+      } else if (arg == "--scale") {
+        scale = std::stod(value());
+        want_network = true;
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(value());
+        want_network = true;
+      } else if (arg == "--dests") {
+        options.destination_samples = std::stoul(value());
+        want_network = true;
+      } else if (arg == "--topology") {
+        topology_file = value();
+        want_network = true;
+      } else if (arg == "--query") {
+        options.queries.push_back(miro::analysis::VerifyQuery::parse(value()));
+        want_network = true;
+      } else if (arg == "--diff") {
+        options.differential = true;
+        want_network = true;
+      } else if (arg == "--requester") {
+        requester_file = value();
+      } else if (arg == "--responder") {
+        responder_file = value();
+      } else {
+        return usage(std::cerr, 2);
+      }
+    }
+
+    // One --seed steers every sampled stage, including the differential
+    // round, so a CI fuzz loop over seeds exercises fresh tuples each time.
+    options.diff.seed = options.seed;
+
+    const bool want_admissibility =
+        !requester_file.empty() || !responder_file.empty();
+    if (want_admissibility) {
+      miro::require(!requester_file.empty() && !responder_file.empty(),
+                    "verify needs both --requester and --responder");
+      // A config that does not parse is an error finding, as in lint mode.
+      bool parsed = true;
+      miro::policy::BgpConfig requester;
+      miro::policy::BgpConfig responder;
+      for (const auto& [file, config] :
+           {std::pair{&requester_file, &requester},
+            std::pair{&responder_file, &responder}}) {
+        try {
+          *config = miro::policy::parse_config(read_file(*file));
+        } catch (const miro::Error& error) {
+          report.add(Severity::Error, "policy.parse", error.what()).at(*file);
+          parsed = false;
+        }
+      }
+      if (parsed) {
+        report.merge(miro::analysis::check_negotiation_admissibility(
+            requester, requester_file, responder, responder_file));
+      }
+    }
+
+    if (want_network || !want_admissibility) {
+      std::string label;
+      std::unique_ptr<miro::topo::AsGraph> graph;
+      if (!topology_file.empty()) {
+        graph = std::make_unique<miro::topo::AsGraph>(
+            miro::topo::load_file(topology_file));
+        label = topology_file;
+      } else {
+        graph = std::make_unique<miro::topo::AsGraph>(
+            miro::topo::generate(miro::topo::profile(profile, scale)));
+        label = profile;
+      }
+      report.merge(miro::analysis::verify_network(*graph, options, label));
+    }
+  } catch (const miro::Error& error) {
+    std::cerr << "miro_lint: " << error.what() << "\n";
+    return 2;
+  }
+
+  report.sort();
+  if (json) {
+    std::cout << report.to_json().dump() << "\n";
+  } else {
+    report.render_text(std::cout);
+  }
+  return report.error_count() > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  if (!args.empty() && args.front() == "verify")
+    return run_verify({args.begin() + 1, args.end()});
 
   Report report;
   try {
