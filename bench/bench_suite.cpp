@@ -7,16 +7,20 @@
 //
 //   ./run_suite [--out PATH] [--bin-dir DIR] [--scale X] [--dests N]
 //               [--sources N] [--seed N] [--threads N] [--profile NAME]
-//               [--skip NAME]... [--quick]
+//               [--skip NAME]... [--quick | --full]
 //
 // --quick shrinks every knob for CI (one profile, small samples) so the
-// gate measures relative shape, not absolute scale. Bench stdout goes to
-// the console (it is the human-readable reproduction); only the JSON
-// snapshots are merged. --threads forwards to every bench (default: the
-// benches resolve MIRO_THREADS / hardware concurrency themselves); it is
-// excluded from the merged config section because result rows are
-// bit-identical at any thread count and snapshots must stay comparable
-// across thread counts.
+// gate measures relative shape, not absolute scale. --full is the other
+// end: the internet2006 profile at scale 1.0 (~70k ASes, ~142k edges) with
+// a small destination sample, restricted to the benches whose cost scales
+// with graph size rather than with (samples x solves per sample); its
+// snapshot defaults to BENCH_FULL.json so the two tiers' baselines live
+// side by side. Bench stdout goes to the console (it is the human-readable
+// reproduction); only the JSON snapshots are merged. --threads forwards to
+// every bench (default: the benches resolve MIRO_THREADS / hardware
+// concurrency themselves); it is excluded from the merged config section
+// because result rows are bit-identical at any thread count and snapshots
+// must stay comparable across thread counts.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -34,25 +38,31 @@ namespace {
 struct BenchSpec {
   const char* name;
   bool takes_eval_flags;  ///< accepts --profile/--scale/--dests/--sources
+  bool full_tier;         ///< affordable at internet scale (--full runs it)
 };
 
 // Every reproduction bench. bench_micro_protocol is google-benchmark based
-// and slow by design; it participates with its own flag set.
+// and slow by design; it participates with its own flag set. The full-tier
+// mark admits a bench to --full: those whose cost is dominated by the
+// sampled work (per-destination solves, per-tuple negotiations) stay
+// affordable at 70k nodes, while the ones that sweep every node or replay
+// message-level churn do not.
 const BenchSpec kBenches[] = {
-    {"bench_table_5_1_datasets", true},
-    {"bench_fig_5_1_degree_distribution", true},
-    {"bench_fig_5_2_5_3_path_diversity", true},
-    {"bench_table_5_2_avoid_success", true},
-    {"bench_table_5_3_negotiation_state", true},
-    {"bench_fig_5_4_5_5_incremental", true},
-    {"bench_fig_5_6_5_7_traffic_control", true},
-    {"bench_convergence_lab", false},
-    {"bench_ablation_te_mechanisms", true},
-    {"bench_ablation_negotiation_scope", true},
-    {"bench_inference_accuracy", true},
-    {"bench_overhead_messages", true},
-    {"bench_churn_convergence", true},
-    {"bench_verify_fixpoint", true},
+    {"bench_table_5_1_datasets", true, true},
+    {"bench_fig_5_1_degree_distribution", true, true},
+    {"bench_fig_5_2_5_3_path_diversity", true, true},
+    {"bench_table_5_2_avoid_success", true, true},
+    {"bench_table_5_3_negotiation_state", true, true},
+    {"bench_fig_5_4_5_5_incremental", true, true},
+    {"bench_fig_5_6_5_7_traffic_control", true, false},
+    {"bench_convergence_lab", false, false},
+    {"bench_ablation_te_mechanisms", true, false},
+    {"bench_ablation_negotiation_scope", true, false},
+    {"bench_inference_accuracy", true, false},
+    {"bench_overhead_messages", true, false},
+    {"bench_churn_convergence", true, false},
+    {"bench_verify_fixpoint", true, true},
+    {"bench_internet_scale", true, true},
 };
 
 struct SuiteArgs {
@@ -64,6 +74,7 @@ struct SuiteArgs {
   std::size_t sources = 10;
   std::uint64_t seed = 42;
   long threads = 0;  // 0 = let each bench resolve MIRO_THREADS / hardware
+  bool full = false;  // --full: internet scale, full-tier benches only
   std::set<std::string> skip;
 };
 
@@ -71,13 +82,14 @@ struct SuiteArgs {
   std::fprintf(stderr,
                "usage: %s [--out PATH] [--bin-dir DIR] [--scale X] "
                "[--dests N] [--sources N] [--seed N] [--threads N] "
-               "[--profile NAME] [--skip NAME]... [--quick]\n",
+               "[--profile NAME] [--skip NAME]... [--quick | --full]\n",
                argv0);
   std::exit(2);
 }
 
 SuiteArgs parse(int argc, char** argv) {
   SuiteArgs args;
+  bool out_explicit = false;
   // Default bin dir: wherever this driver lives (all benches are siblings).
   const std::string self = argv[0];
   const std::size_t slash = self.find_last_of('/');
@@ -91,7 +103,10 @@ SuiteArgs parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (flag == "--out") args.out = value();
+    if (flag == "--out") {
+      args.out = value();
+      out_explicit = true;
+    }
     else if (flag == "--bin-dir") args.bin_dir = value();
     else if (flag == "--scale") args.scale = std::atof(value());
     else if (flag == "--dests")
@@ -118,10 +133,20 @@ SuiteArgs parse(int argc, char** argv) {
       args.scale = 0.15;
       args.dests = 10;
       args.sources = 8;
+    } else if (flag == "--full") {
+      // Measured-Internet scale: ~70k ASes. Sample counts stay small — the
+      // tier exists to exercise graph-size scaling, not sample breadth.
+      args.profile = "internet2006";
+      args.scale = 1.0;
+      args.dests = 6;
+      args.sources = 4;
+      args.full = true;
     } else {
       usage(argv[0]);
     }
   }
+  // The two tiers keep separate checked-in baselines; --out still wins.
+  if (args.full && !out_explicit) args.out = "BENCH_FULL.json";
   return args;
 }
 
@@ -142,6 +167,7 @@ int main(int argc, char** argv) {
   miro::JsonValue benches = miro::JsonValue::make_object();
   std::size_t failures = 0;
   for (const BenchSpec& spec : kBenches) {
+    if (args.full && !spec.full_tier) continue;
     if (args.skip.count(spec.name) != 0) {
       std::printf("== %s (skipped)\n", spec.name);
       continue;

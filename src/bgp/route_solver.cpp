@@ -8,9 +8,10 @@
 
 namespace miro::bgp {
 
-RoutingTree::RoutingTree(const AsGraph& graph, NodeId destination)
+RoutingTree::RoutingTree(const AsGraph& graph, NodeId destination,
+                         Arena* arena)
     : graph_(&graph), destination_(destination),
-      entries_(graph.node_count()) {}
+      entries_(graph.node_count(), Entry{}, ArenaAllocator<Entry>(arena)) {}
 
 std::vector<NodeId> RoutingTree::path_of(NodeId node) const {
   std::vector<NodeId> path;
@@ -75,12 +76,12 @@ struct QueueItem {
 
 RoutingTree StableRouteSolver::run(NodeId destination, const PinnedRoute* pin,
                                    const OriginPrepend* prepend,
-                                   NodeId exclude) const {
+                                   NodeId exclude, Arena* arena) const {
   obs::ScopedSpan span(obs::profile(), "bgp/solve_tree", "bgp");
   const AsGraph& graph = *graph_;
   require(destination < graph.node_count(),
           "StableRouteSolver: destination out of range");
-  RoutingTree tree(graph, destination);
+  RoutingTree tree(graph, destination, arena);
 
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
       queue;
@@ -126,8 +127,8 @@ RoutingTree StableRouteSolver::run(NodeId destination, const PinnedRoute* pin,
   return tree;
 }
 
-RoutingTree StableRouteSolver::solve(NodeId destination) const {
-  return run(destination, nullptr, nullptr);
+RoutingTree StableRouteSolver::solve(NodeId destination, Arena* arena) const {
+  return run(destination, nullptr, nullptr, topo::kInvalidNode, arena);
 }
 
 RoutingTree StableRouteSolver::solve_pinned(NodeId destination,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bgp/route.hpp"
+#include "common/arena.hpp"
 #include "common/memtrack.hpp"
 
 namespace miro::bgp {
@@ -24,7 +25,13 @@ namespace miro::bgp {
 /// The stable best route of every AS toward one destination.
 class RoutingTree {
  public:
-  RoutingTree(const AsGraph& graph, NodeId destination);
+  /// With a non-null `arena`, the per-node entry array lives in the arena
+  /// (the tree must not outlive it); null keeps it on the global heap. The
+  /// array is sized once here and never reallocated, the lifetime pattern
+  /// bump arenas serve best — RouteStore caches hundreds of trees and pays
+  /// one malloc per slab instead of one per destination.
+  RoutingTree(const AsGraph& graph, NodeId destination,
+              Arena* arena = nullptr);
 
   NodeId destination() const { return destination_; }
   bool reachable(NodeId node) const { return entries_[node].reachable; }
@@ -46,7 +53,12 @@ class RoutingTree {
 
   /// Resident byte footprint of the per-node entry array (capacity-based,
   /// deterministic): the denominator side of bytes_per_route bench rows.
+  /// When the array lives in an arena these bytes are part of the arena's
+  /// reserved_bytes() — count one or the other, not both.
   std::uint64_t memory_bytes() const { return vector_bytes(entries_); }
+
+  /// Arena sizing helper: bytes one tree's entry array needs per graph node.
+  static constexpr std::size_t bytes_per_node() { return sizeof(Entry); }
 
  private:
   friend class StableRouteSolver;
@@ -60,7 +72,7 @@ class RoutingTree {
   };
   const AsGraph* graph_;
   NodeId destination_;
-  std::vector<Entry> entries_;
+  std::vector<Entry, ArenaAllocator<Entry>> entries_;
 };
 
 /// Overrides one AS's route selection: the AS must route via
@@ -86,8 +98,9 @@ class StableRouteSolver {
  public:
   explicit StableRouteSolver(const AsGraph& graph) : graph_(&graph) {}
 
-  /// Stable routes of every AS toward `destination`.
-  RoutingTree solve(NodeId destination) const;
+  /// Stable routes of every AS toward `destination`. A non-null `arena`
+  /// receives the tree's entry array (see RoutingTree's constructor).
+  RoutingTree solve(NodeId destination, Arena* arena = nullptr) const;
 
   /// Stable routes with one AS's selection pinned. If the pin is infeasible
   /// (the forced neighbor never offers a route) the pinned AS ends up
@@ -117,7 +130,8 @@ class StableRouteSolver {
  private:
   RoutingTree run(NodeId destination, const PinnedRoute* pin,
                   const OriginPrepend* prepend,
-                  NodeId exclude = topo::kInvalidNode) const;
+                  NodeId exclude = topo::kInvalidNode,
+                  Arena* arena = nullptr) const;
 
   const AsGraph* graph_;
 };

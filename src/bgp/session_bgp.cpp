@@ -262,14 +262,18 @@ double SessionedBgpNetwork::damping_penalty_of(NodeId node,
 void SessionedBgpNetwork::receive(NodeId node, NodeId from,
                                   std::vector<NodeId> path_at_sender) {
   Speaker& speaker = speakers_[node];
+  // Equal paths intern to equal ids, so the flap check below is one integer
+  // compare instead of a vector compare.
+  const PathId incoming =
+      path_at_sender.empty() ? kNullPath : paths_.intern(path_at_sender);
   bool flap = false;
   if (defense_.damping_enabled) {
     const auto it = speaker.adj_in.find(from);
     const bool had = it != speaker.adj_in.end();
-    if (path_at_sender.empty()) {
+    if (incoming == kNullPath) {
       flap = had;  // withdrawal of a held route
     } else if (had) {
-      flap = it->second != path_at_sender;  // attribute/path change
+      flap = it->second != incoming;  // attribute/path change
     } else {
       // Re-announcement after a withdrawal; the initial announcement of a
       // never-seen route carries no penalty (RFC 2439 §4.4.2 shape).
@@ -277,10 +281,10 @@ void SessionedBgpNetwork::receive(NodeId node, NodeId from,
       flap = d != speaker.damping.end() && d->second.was_known;
     }
   }
-  if (path_at_sender.empty()) {
+  if (incoming == kNullPath) {
     speaker.adj_in.erase(from);
   } else {
-    speaker.adj_in[from] = std::move(path_at_sender);
+    speaker.adj_in[from] = incoming;
     if (defense_.damping_enabled) speaker.damping[from].was_known = true;
   }
   if (flap) {
@@ -308,13 +312,14 @@ void SessionedBgpNetwork::reselect(NodeId node) {
   if (origins_.count(node) != 0) {
     next = Route{{node}, RouteClass::Self};
   } else {
-    for (const auto& [neighbor, path_at_sender] : speaker.adj_in) {
+    std::vector<NodeId> path_at_sender;  // scratch, reused per neighbor
+    for (const auto& [neighbor, path_id] : speaker.adj_in) {
       if (!link_up(node, neighbor)) continue;
       if (is_suppressed(node, neighbor)) continue;  // flap-damped
-      // Implicit import policy: reject looping paths.
-      if (std::find(path_at_sender.begin(), path_at_sender.end(), node) !=
-          path_at_sender.end())
-        continue;
+      // Implicit import policy: reject looping paths — a parent-chain walk,
+      // no materialization needed for rejected candidates.
+      if (paths_.contains(path_id, node)) continue;
+      paths_.materialize_into(path_id, path_at_sender);
       Route candidate;
       candidate.path.reserve(path_at_sender.size() + 1);
       candidate.path.push_back(node);
@@ -485,13 +490,13 @@ SessionedBgpNetwork::RibFootprint SessionedBgpNetwork::rib_footprint() const {
   };
   RibFootprint fp;
   fp.rib_bytes += vector_bytes(speakers_);
+  // The interned path table is shared by every Adj-RIB-In, so it is counted
+  // once network-wide (it replaces the per-entry path vectors).
+  fp.aspath_bytes = paths_.memory_bytes();
+  fp.rib_bytes += fp.aspath_bytes;
   for (const Speaker& speaker : speakers_) {
     fp.routes += speaker.adj_in.size();
-    std::uint64_t paths = 0;
-    for (const auto& [from, path] : speaker.adj_in)
-      paths += vector_bytes(path);
-    fp.aspath_bytes += paths;
-    std::uint64_t bytes = hash_map_bytes(speaker.adj_in) + paths;
+    std::uint64_t bytes = hash_map_bytes(speaker.adj_in);
     bytes += set_bytes(speaker.advertised_to);
     bytes += hash_map_bytes(speaker.sessions);
     for (const auto& [to, out] : speaker.sessions)

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "bgp/route.hpp"
 #include "netsim/scheduler.hpp"
 #include "obs/metrics.hpp"
@@ -156,10 +157,20 @@ class SessionedBgpNetwork {
 
   // --- Inspection surface (invariant checker, tests) ---------------------
 
-  /// The Adj-RIB-In of one speaker: neighbor -> path last advertised by it.
-  const std::unordered_map<NodeId, std::vector<NodeId>>& adj_in_of(
-      NodeId node) const {
+  /// The Adj-RIB-In of one speaker: neighbor -> interned id of the path it
+  /// last advertised (resolve through paths() or adj_in_path()).
+  const std::unordered_map<NodeId, PathId>& adj_in_of(NodeId node) const {
     return speakers_[node].adj_in;
+  }
+  /// The path table every Adj-RIB-In id resolves against.
+  const PathTable& paths() const { return paths_; }
+  /// Materialized Adj-RIB-In path `from` last advertised to `node`; empty
+  /// when no route is held.
+  std::vector<NodeId> adj_in_path(NodeId node, NodeId from) const {
+    const auto& rib = speakers_[node].adj_in;
+    const auto it = rib.find(from);
+    return it == rib.end() ? std::vector<NodeId>{}
+                           : paths_.materialize(it->second);
   }
   /// Which neighbors currently hold (or, under MRAI, are scheduled to hold)
   /// this speaker's route.
@@ -188,7 +199,7 @@ class SessionedBgpNetwork {
   /// node-based sets and maps are estimates at libstdc++ overheads).
   struct RibFootprint {
     std::uint64_t routes = 0;        ///< Adj-RIB-In entries network-wide
-    std::uint64_t aspath_bytes = 0;  ///< stored AS-path vectors only
+    std::uint64_t aspath_bytes = 0;  ///< the shared interned path table
     std::uint64_t rib_bytes = 0;     ///< all speaker state incl. sessions
     double bytes_per_route() const {
       return routes == 0 ? 0.0
@@ -236,8 +247,10 @@ class SessionedBgpNetwork {
 
   struct Speaker {
     /// Adj-RIB-In: the route each neighbor last advertised (as a path at
-    /// that neighbor, before local prepend/classification).
-    std::unordered_map<NodeId, std::vector<NodeId>> adj_in;
+    /// that neighbor, before local prepend/classification), interned in the
+    /// network-wide PathTable — 4 bytes per entry, and path-change checks
+    /// collapse to an id compare.
+    std::unordered_map<NodeId, PathId> adj_in;
     /// Adj-RIB-Out presence: which neighbors currently hold our route.
     std::set<NodeId> advertised_to;
     std::optional<Route> best;
@@ -282,6 +295,10 @@ class SessionedBgpNetwork {
   sim::Time link_delay_;
   ChurnDefenseConfig defense_;
   std::vector<Speaker> speakers_;
+  /// One table for every speaker's Adj-RIB-In: learned paths toward the one
+  /// destination share suffixes heavily, so the table stays near graph size
+  /// while raw storage would grow like routes x path length.
+  PathTable paths_;
   std::set<std::uint64_t> failed_links_;
   std::set<NodeId> origins_;
   RouteChangeObserver observer_;

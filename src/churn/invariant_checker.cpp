@@ -122,22 +122,33 @@ void InvariantChecker::final_check(sim::Time now) {
 
 void InvariantChecker::check_shadow(sim::Time now) {
   const std::size_t count = network_->graph().node_count();
+  const bgp::PathTable& paths = network_->paths();
+  std::vector<NodeId> actual_path;  // scratch for materialized entries
   for (NodeId n = 0; n < count; ++n) {
+    // The live RIB holds interned ids; the shadow (rebuilt from observed
+    // wire messages, deliberately not sharing the network's table) holds
+    // vectors, so entries are compared materialized.
     const auto& actual = network_->adj_in_of(n);
     const auto& shadow = shadow_[n];
-    if (actual == shadow) continue;
+    bool diverged = actual.size() != shadow.size();
+    NodeId divergent = topo::kInvalidNode;
+    for (const auto& [from, path_id] : actual) {
+      const auto it = shadow.find(from);
+      paths.materialize_into(path_id, actual_path);
+      if (it == shadow.end() || it->second != actual_path) {
+        diverged = true;
+        divergent = from;
+        break;
+      }
+    }
+    if (!diverged) continue;
     // Name one divergent neighbor for the diagnostic.
     std::string detail = "node " + std::to_string(n) + ": Adj-RIB-In (" +
                          std::to_string(actual.size()) +
                          " entries) diverges from delivered messages (" +
                          std::to_string(shadow.size()) + ")";
-    for (const auto& [from, path] : actual) {
-      const auto it = shadow.find(from);
-      if (it == shadow.end() || it->second != path) {
-        detail += "; first divergence: neighbor " + std::to_string(from);
-        break;
-      }
-    }
+    if (divergent != topo::kInvalidNode)
+      detail += "; first divergence: neighbor " + std::to_string(divergent);
     add("shadow-rib", now, std::move(detail));
   }
 }
@@ -273,10 +284,12 @@ void InvariantChecker::check_export_consistency(sim::Time now) {
           add("rib-export-consistency", now,
               "node " + std::to_string(nb.node) + " misses the route " +
                   std::to_string(m) + " currently exports");
-        } else if (it->second != network_->best(m).path) {
+        } else if (network_->paths().materialize(it->second) !=
+                   network_->best(m).path) {
           add("rib-export-consistency", now,
               "node " + std::to_string(nb.node) + " holds a stale path from " +
-                  std::to_string(m) + ": has " + path_string(it->second) +
+                  std::to_string(m) + ": has " +
+                  path_string(network_->paths().materialize(it->second)) +
                   ", neighbor's best is " +
                   path_string(network_->best(m).path));
         }
@@ -290,7 +303,8 @@ void InvariantChecker::check_export_consistency(sim::Time now) {
         add("rib-export-consistency", now,
             "node " + std::to_string(nb.node) +
                 " holds a route neighbor " + std::to_string(m) +
-                " no longer exports: " + path_string(it->second));
+                " no longer exports: " +
+                path_string(network_->paths().materialize(it->second)));
       }
     }
   }

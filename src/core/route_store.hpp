@@ -13,10 +13,13 @@
 // bench rows report.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
+#include "bgp/path_table.hpp"
 #include "bgp/route_solver.hpp"
+#include "common/arena.hpp"
 #include "common/memtrack.hpp"
 
 namespace miro::core {
@@ -25,15 +28,22 @@ class RouteStore {
  public:
   explicit RouteStore(const topo::AsGraph& graph,
                       MemCounters* counters = nullptr)
-      : solver_(graph), trees_(TreeAlloc(counters)) {}
+      : solver_(graph),
+        trees_(TreeAlloc(counters)),
+        // One slab holds exactly one tree's entry array, so the arena's
+        // reserved bytes track the cache contents with zero slack.
+        arena_(std::max<std::size_t>(
+            1, graph.node_count() * bgp::RoutingTree::bytes_per_node())) {}
 
-  /// The stable routing tree toward `destination`, solved on first use.
+  /// The stable routing tree toward `destination`, solved on first use into
+  /// the store's arena (entry arrays are contiguous per tree and freed all
+  /// at once with the store).
   const bgp::RoutingTree& tree(topo::NodeId destination) {
     auto it = trees_.find(destination);
     if (it == trees_.end()) {
       it = trees_
                .emplace(destination, std::make_unique<bgp::RoutingTree>(
-                                         solver_.solve(destination)))
+                                         solver_.solve(destination, &arena_)))
                .first;
     }
     return *it->second;
@@ -41,14 +51,28 @@ class RouteStore {
 
   std::size_t tree_count() const { return trees_.size(); }
 
-  /// Resident byte footprint of the cache: the map's nodes plus every
-  /// cached tree's entry array. Capacity-based and deterministic for a
-  /// given solve sequence.
+  /// The store's AS-path intern table: agents that pin or compare routes
+  /// (tunnel bookkeeping, RIB snapshots) intern here so equal paths share
+  /// storage and compare as one integer.
+  bgp::PathTable& paths() { return paths_; }
+  const bgp::PathTable& paths() const { return paths_; }
+  /// Interns a route's path; resolve back with materialize().
+  bgp::InternedRoute intern(const bgp::Route& route) {
+    return paths_.intern(route);
+  }
+  bgp::Route materialize(const bgp::InternedRoute& route) const {
+    return paths_.materialize(route);
+  }
+
+  /// Resident byte footprint of the cache: the map's nodes, the arena
+  /// holding every cached tree's entry array (counted once, not per tree —
+  /// see RoutingTree::memory_bytes), and the intern table. Capacity-based
+  /// and deterministic for a given solve/intern sequence.
   std::uint64_t memory_bytes() const {
-    std::uint64_t bytes = hash_map_bytes(trees_);
-    for (const auto& [destination, tree] : trees_)
-      bytes += sizeof(bgp::RoutingTree) + tree->memory_bytes();
-    return bytes;
+    return hash_map_bytes(trees_) + paths_.memory_bytes() +
+           arena_.reserved_bytes() +
+           static_cast<std::uint64_t>(trees_.size()) *
+               sizeof(bgp::RoutingTree);
   }
 
   const bgp::StableRouteSolver& solver() const { return solver_; }
@@ -65,6 +89,8 @@ class RouteStore {
 
   bgp::StableRouteSolver solver_;
   TreeMap trees_;
+  Arena arena_;
+  bgp::PathTable paths_;
 };
 
 }  // namespace miro::core

@@ -1,6 +1,5 @@
 #include "eval/avoid_as.hpp"
 
-#include <map>
 #include <ostream>
 #include <utility>
 
@@ -25,14 +24,17 @@ AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
   AvoidAsResult result;
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());
-  const auto tuples =
+  const auto& tuples =
       plan.sample_tuples(plan.config().sources_per_destination);
   result.tuples = tuples.size();
+  // Source-routing reachability: one BFS per distinct (destination, avoid)
+  // pair, precomputed at plan level and shared read-only by every worker
+  // chunk (and by any later experiment over the same tuples).
+  plan.precompute_avoidance(tuples);
 
   // Per-tuple evaluations are independent; each chunk keeps its own
-  // counters (and its own BFS cache), merged after the join. Every merged
-  // quantity is a sum of per-tuple integers, so the totals are identical at
-  // any thread count.
+  // counters, merged after the join. Every merged quantity is a sum of
+  // per-tuple integers, so the totals are identical at any thread count.
   struct Accum {
     std::size_t single_ok = 0;
     std::size_t source_ok = 0;
@@ -43,28 +45,6 @@ AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
     std::size_t hard_ok[3] = {0, 0, 0};
     std::size_t hard_contacted[3] = {0, 0, 0};
     std::size_t hard_paths[3] = {0, 0, 0};
-
-    // Source-routing reachability cache: one BFS from the destination with
-    // the avoided AS removed answers every source for that
-    // (destination, avoid). Per-chunk, so workers never share state; tuples
-    // of one destination are contiguous, so static chunking keeps the reuse.
-    std::map<std::pair<NodeId, NodeId>, std::vector<bool>> source_cache;
-  };
-  auto reachable_set = [&plan](NodeId destination, NodeId avoid) {
-    const AsGraph& graph = plan.graph();
-    std::vector<bool> reachable(graph.node_count(), false);
-    std::vector<NodeId> frontier{destination};
-    reachable[destination] = true;
-    while (!frontier.empty()) {
-      const NodeId node = frontier.back();
-      frontier.pop_back();
-      for (const topo::Neighbor& n : graph.neighbors(node)) {
-        if (n.node == avoid || reachable[n.node]) continue;
-        reachable[n.node] = true;
-        frontier.push_back(n.node);
-      }
-    }
-    return reachable;
   };
 
   std::vector<Accum> accums(par::chunk_count(tuples.size()));
@@ -93,14 +73,9 @@ AvoidAsResult run_avoid_as(const ExperimentPlan& plan) {
           for (std::size_t p = 0; p < 3; ++p)
             if (policy_ok[p]) ++acc.multi_ok[p];
 
-          const auto key = std::make_pair(tuple.destination, tuple.avoid);
-          auto it = acc.source_cache.find(key);
-          if (it == acc.source_cache.end())
-            it = acc.source_cache
-                     .emplace(key,
-                              reachable_set(tuple.destination, tuple.avoid))
-                     .first;
-          if (it->second[tuple.source]) ++acc.source_ok;
+          if (plan.avoid_reachable(tuple.destination,
+                                   tuple.avoid)[tuple.source])
+            ++acc.source_ok;
 
           if (!single) {
             ++acc.hard_tuples;
@@ -186,7 +161,7 @@ DeploymentResult run_incremental_deployment(const ExperimentPlan& plan) {
   DeploymentResult result;
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());
-  const auto all_tuples =
+  const auto& all_tuples =
       plan.sample_tuples(plan.config().sources_per_destination);
   const auto by_degree = topo::nodes_by_degree_descending(plan.graph());
   const std::size_t n = plan.graph().node_count();

@@ -59,8 +59,19 @@ std::uint64_t ExperimentPlan::route_count() const {
   return routes;
 }
 
-std::vector<SampledPair> ExperimentPlan::sample_pairs(
+const RoutingTree* ExperimentPlan::tree_for(NodeId destination) const {
+  const auto it = std::lower_bound(destinations_.begin(), destinations_.end(),
+                                   destination);
+  if (it == destinations_.end() || *it != destination) return nullptr;
+  return &trees_[static_cast<std::size_t>(it - destinations_.begin())];
+}
+
+const std::vector<SampledPair>& ExperimentPlan::sample_pairs(
     std::size_t per_destination, std::uint64_t salt) const {
+  const auto key = std::make_pair(per_destination, salt);
+  const auto cached = pair_cache_.find(key);
+  if (cached != pair_cache_.end()) return cached->second;
+
   std::vector<SampledPair> pairs;
   Rng rng(config_.seed ^ (salt + 0x5051));
   const std::size_t n = graph_->node_count();
@@ -78,11 +89,15 @@ std::vector<SampledPair> ExperimentPlan::sample_pairs(
       ++taken;
     }
   }
-  return pairs;
+  return pair_cache_.emplace(key, std::move(pairs)).first->second;
 }
 
-std::vector<SampledTuple> ExperimentPlan::sample_tuples(
+const std::vector<SampledTuple>& ExperimentPlan::sample_tuples(
     std::size_t per_destination, std::uint64_t salt) const {
+  const auto key = std::make_pair(per_destination, salt);
+  const auto cached = tuple_cache_.find(key);
+  if (cached != tuple_cache_.end()) return cached->second;
+
   std::vector<SampledTuple> tuples;
   for (const SampledPair& pair : sample_pairs(per_destination, salt)) {
     const RoutingTree& tree = trees_[pair.tree_index];
@@ -96,7 +111,51 @@ std::vector<SampledTuple> ExperimentPlan::sample_tuples(
                         pair.tree_index});
     }
   }
-  return tuples;
+  return tuple_cache_.emplace(key, std::move(tuples)).first->second;
+}
+
+void ExperimentPlan::precompute_avoidance(
+    const std::vector<SampledTuple>& tuples) const {
+  obs::ScopedSpan span(obs::profile(), "eval/precompute_avoidance", "eval");
+  // Distinct keys not yet cached, in sorted order so the fan-out (and the
+  // cache layout it produces) is identical at any thread count.
+  std::vector<std::pair<NodeId, NodeId>> missing;
+  for (const SampledTuple& tuple : tuples) {
+    const auto key = std::make_pair(tuple.destination, tuple.avoid);
+    if (avoid_sets_.find(key) == avoid_sets_.end()) missing.push_back(key);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+
+  const AsGraph& graph = *graph_;
+  auto sets = par::parallel_map(
+      missing, [&graph](const std::pair<NodeId, NodeId>& key) {
+        // BFS from the destination with the avoided AS excised; answers
+        // reachability for every source at once.
+        std::vector<bool> reachable(graph.node_count(), false);
+        std::vector<NodeId> frontier{key.first};
+        reachable[key.first] = true;
+        while (!frontier.empty()) {
+          const NodeId node = frontier.back();
+          frontier.pop_back();
+          for (const topo::Neighbor& n : graph.neighbors(node)) {
+            if (n.node == key.second || reachable[n.node]) continue;
+            reachable[n.node] = true;
+            frontier.push_back(n.node);
+          }
+        }
+        return reachable;
+      });
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    avoid_sets_.emplace(missing[i], std::move(sets[i]));
+}
+
+const std::vector<bool>& ExperimentPlan::avoid_reachable(NodeId destination,
+                                                         NodeId avoid) const {
+  const auto it = avoid_sets_.find(std::make_pair(destination, avoid));
+  require(it != avoid_sets_.end(),
+          "avoid_reachable: key not precomputed (call precompute_avoidance)");
+  return it->second;
 }
 
 bool reachable_avoiding(const AsGraph& graph, NodeId source,

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgp/route_solver.hpp"
@@ -60,14 +62,39 @@ class ExperimentPlan {
   const std::vector<RoutingTree>& trees() const { return trees_; }
   const RoutingTree& tree(std::size_t index) const { return trees_[index]; }
 
+  /// The pre-solved tree for `destination` when it is one of the sampled
+  /// destinations, else nullptr. Experiments that pick their own targets
+  /// (TE stubs, verification queries) check here before paying a fresh
+  /// solve — at full scale a solve walks the whole 70k-node graph.
+  const RoutingTree* tree_for(NodeId destination) const;
+
   /// Sampled (source, destination) pairs, `per_destination` per tree.
-  std::vector<SampledPair> sample_pairs(std::size_t per_destination,
-                                        std::uint64_t salt = 0) const;
+  /// Memoized per (per_destination, salt): the avoid-AS, negotiation-state,
+  /// and incremental-deployment experiments all iterate the same tuple set,
+  /// and re-deriving it walks every default path again. Not thread-safe;
+  /// call from the serial orchestration layer (as the experiments do).
+  const std::vector<SampledPair>& sample_pairs(std::size_t per_destination,
+                                               std::uint64_t salt = 0) const;
 
   /// Sampled avoid-AS tuples derived from the pairs: every intermediate AS
   /// on the default path except the source's first hop and the destination.
-  std::vector<SampledTuple> sample_tuples(std::size_t per_destination,
-                                          std::uint64_t salt = 0) const;
+  /// Memoized like sample_pairs.
+  const std::vector<SampledTuple>& sample_tuples(std::size_t per_destination,
+                                                 std::uint64_t salt = 0) const;
+
+  /// Runs (in parallel, deterministically) the one-BFS-per-distinct
+  /// (destination, avoid) source-routing reachability precomputation for
+  /// the given tuples; already-cached keys are skipped. Call before fanning
+  /// out workers that read avoid_reachable().
+  void precompute_avoidance(const std::vector<SampledTuple>& tuples) const;
+
+  /// The set of nodes that can still reach `destination` with `avoid`
+  /// excised, indexed by node id. The key must have been precomputed; the
+  /// returned reference is stable and safe to read from many threads. One
+  /// BFS answers every source of that (destination, avoid), and the cache
+  /// is shared across experiments instead of re-run per worker chunk.
+  const std::vector<bool>& avoid_reachable(NodeId destination,
+                                           NodeId avoid) const;
 
   const EvalConfig& config() const { return config_; }
 
@@ -83,6 +110,17 @@ class ExperimentPlan {
   std::unique_ptr<StableRouteSolver> solver_;
   std::vector<NodeId> destinations_;
   std::vector<RoutingTree> trees_;
+  // Memoization caches; filled lazily from the serial experiment layer,
+  // read-only once workers fan out. std::map keeps iteration (and thus any
+  // accounting walk) deterministic.
+  mutable std::map<std::pair<std::size_t, std::uint64_t>,
+                   std::vector<SampledPair>>
+      pair_cache_;
+  mutable std::map<std::pair<std::size_t, std::uint64_t>,
+                   std::vector<SampledTuple>>
+      tuple_cache_;
+  mutable std::map<std::pair<NodeId, NodeId>, std::vector<bool>>
+      avoid_sets_;
 };
 
 /// True when `destination` is reachable from `source` in the graph with

@@ -17,7 +17,7 @@ DiversityResult run_path_diversity(const ExperimentPlan& plan) {
   result.profile = plan.config().profile;
   const core::AlternatesEngine engine(plan.solver());
 
-  const auto pairs =
+  const auto& pairs =
       plan.sample_pairs(plan.config().sources_per_destination);
 
   constexpr core::NegotiationScope kScopes[] = {

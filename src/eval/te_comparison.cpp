@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <ostream>
 
 #include "obs/profile.hpp"
@@ -73,7 +74,15 @@ TeComparisonResult run_te_comparison(const ExperimentPlan& plan,
   };
   const auto outcomes = par::parallel_map(stubs, [&](NodeId stub) {
     StubOutcome outcome;
-    const RoutingTree tree = solver.solve(stub);
+    // A sampled stub may coincide with one of the plan's pre-solved
+    // destinations; tree_for is a read-only lookup, safe from workers.
+    const RoutingTree* shared = plan.tree_for(stub);
+    std::optional<RoutingTree> local;
+    if (shared == nullptr) {
+      local.emplace(solver.solve(stub));
+      shared = &*local;
+    }
+    const RoutingTree& tree = *shared;
     std::size_t total = 0;
     const auto before = ingress_split(graph, tree, total);
     if (total == 0 || before.size() < 2) {

@@ -1,6 +1,7 @@
 #include "eval/traffic_control.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
 
 #include "obs/profile.hpp"
@@ -100,7 +101,15 @@ TrafficControlResult run_traffic_control(const ExperimentPlan& plan,
   };
   const auto controls = par::parallel_map(stubs, [&](NodeId stub) {
     StubControl control;
-    const RoutingTree tree = solver.solve(stub);
+    // Reuse the plan's pre-solved tree when this stub was also a sampled
+    // destination; tree_for is a read-only lookup, safe from workers.
+    const RoutingTree* shared = plan.tree_for(stub);
+    std::optional<RoutingTree> local;
+    if (shared == nullptr) {
+      local.emplace(solver.solve(stub));
+      shared = &*local;
+    }
+    const RoutingTree& tree = *shared;
     const TrafficView view = measure(graph, tree);
     if (view.total == 0) {
       control.empty = true;

@@ -17,6 +17,7 @@ const char* to_string(Relationship rel) {
 }
 
 NodeId AsGraph::add_as(AsNumber asn) {
+  require(!finalized_, "AsGraph::add_as: graph is finalized");
   require(index_.find(asn) == index_.end(), "AsGraph::add_as: duplicate ASN");
   NodeId id = static_cast<NodeId>(as_numbers_.size());
   as_numbers_.push_back(asn);
@@ -26,10 +27,12 @@ NodeId AsGraph::add_as(AsNumber asn) {
 }
 
 void AsGraph::add_half_edges(NodeId a, NodeId b, Relationship rel_of_b_to_a) {
+  require(!finalized_, "AsGraph: cannot add edges to a finalized graph");
   check_node(a);
   check_node(b);
   require(a != b, "AsGraph: self-loops are not allowed");
-  require(!has_edge(a, b), "AsGraph: parallel edges are not allowed");
+  require(edge_keys_.insert(edge_key(a, b)).second,
+          "AsGraph: parallel edges are not allowed");
   adjacency_[a].push_back({b, rel_of_b_to_a});
   adjacency_[b].push_back({a, reverse(rel_of_b_to_a)});
   ++edge_count_;
@@ -47,9 +50,71 @@ void AsGraph::add_sibling(NodeId a, NodeId b) {
   add_half_edges(a, b, Relationship::Sibling);
 }
 
+void AsGraph::finalize() {
+  if (finalized_) return;
+  const std::size_t n = as_numbers_.size();
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i + 1] =
+        offsets_[i] + static_cast<std::uint32_t>(adjacency_[i].size());
+  }
+  edge_nodes_.resize(offsets_[n]);
+  edge_rels_.resize(offsets_[n]);
+  std::vector<Neighbor> sorted;
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.assign(adjacency_[i].begin(), adjacency_[i].end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Neighbor& x, const Neighbor& y) {
+                return x.node < y.node;
+              });
+    std::uint32_t out = offsets_[i];
+    for (const Neighbor& neighbor : sorted) {
+      edge_nodes_[out] = neighbor.node;
+      edge_rels_[out] = neighbor.rel;
+      ++out;
+    }
+  }
+
+  // The generator numbers ASes 1..N; detecting that collapses the ASN index
+  // to a bounds check. Arbitrary ASNs (loaded snapshots) get a sorted array.
+  identity_asns_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (as_numbers_[i] != static_cast<AsNumber>(i + 1)) {
+      identity_asns_ = false;
+      break;
+    }
+  }
+  if (!identity_asns_) {
+    sorted_index_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sorted_index_.emplace_back(as_numbers_[i], static_cast<NodeId>(i));
+    std::sort(sorted_index_.begin(), sorted_index_.end());
+  }
+
+  finalized_ = true;
+  // Release the build state; swap-with-empty actually frees the storage.
+  std::vector<std::vector<Neighbor>>().swap(adjacency_);
+  std::unordered_map<AsNumber, NodeId>().swap(index_);
+  std::unordered_set<std::uint64_t>().swap(edge_keys_);
+}
+
 NodeId AsGraph::find(AsNumber asn) const {
-  auto it = index_.find(asn);
-  return it == index_.end() ? kInvalidNode : it->second;
+  if (!finalized_) {
+    auto it = index_.find(asn);
+    return it == index_.end() ? kInvalidNode : it->second;
+  }
+  if (identity_asns_) {
+    return asn >= 1 && asn <= as_numbers_.size()
+               ? static_cast<NodeId>(asn - 1)
+               : kInvalidNode;
+  }
+  const auto it = std::lower_bound(
+      sorted_index_.begin(), sorted_index_.end(), asn,
+      [](const std::pair<AsNumber, NodeId>& entry, AsNumber value) {
+        return entry.first < value;
+      });
+  return it != sorted_index_.end() && it->first == asn ? it->second
+                                                       : kInvalidNode;
 }
 
 NodeId AsGraph::require_node(AsNumber asn) const {
@@ -58,28 +123,43 @@ NodeId AsGraph::require_node(AsNumber asn) const {
   return id;
 }
 
+std::size_t AsGraph::csr_find(NodeId a, NodeId b) const {
+  const std::uint32_t begin = offsets_[a];
+  const std::uint32_t end = offsets_[a + 1];
+  const auto first = edge_nodes_.begin() + begin;
+  const auto last = edge_nodes_.begin() + end;
+  const auto it = std::lower_bound(first, last, b);
+  if (it == last || *it != b) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - edge_nodes_.begin());
+}
+
 bool AsGraph::has_edge(NodeId a, NodeId b) const {
   check_node(a);
   check_node(b);
-  // Scan the smaller adjacency list.
+  if (!finalized_) return edge_keys_.count(edge_key(a, b)) != 0;
+  // Binary-search the lower-degree side's sorted segment.
   NodeId from = a, to = b;
-  if (adjacency_[b].size() < adjacency_[a].size()) std::swap(from, to);
-  for (const Neighbor& n : adjacency_[from])
-    if (n.node == to) return true;
-  return false;
+  if (degree(b) < degree(a)) std::swap(from, to);
+  return csr_find(from, to) != static_cast<std::size_t>(-1);
 }
 
 Relationship AsGraph::relationship(NodeId a, NodeId b) const {
   check_node(a);
+  check_node(b);
+  if (finalized_) {
+    const std::size_t at = csr_find(a, b);
+    require(at != static_cast<std::size_t>(-1),
+            "AsGraph::relationship: no such edge");
+    return edge_rels_[at];
+  }
   for (const Neighbor& n : adjacency_[a])
     if (n.node == b) return n.rel;
   throw Error("AsGraph::relationship: no such edge");
 }
 
 std::vector<NodeId> AsGraph::neighbors_with(NodeId id, Relationship rel) const {
-  check_node(id);
   std::vector<NodeId> out;
-  for (const Neighbor& n : adjacency_[id])
+  for (const Neighbor& n : neighbors(id))
     if (n.rel == rel) out.push_back(n.node);
   return out;
 }
@@ -87,7 +167,7 @@ std::vector<NodeId> AsGraph::neighbors_with(NodeId id, Relationship rel) const {
 AsGraph::EdgeCounts AsGraph::edge_counts() const {
   EdgeCounts counts;
   for (NodeId id = 0; id < as_numbers_.size(); ++id) {
-    for (const Neighbor& n : adjacency_[id]) {
+    for (const Neighbor& n : neighbors(id)) {
       if (n.rel == Relationship::Customer) ++counts.customer_provider;
       if (n.rel == Relationship::Peer && n.node > id) ++counts.peer;
       if (n.rel == Relationship::Sibling && n.node > id) ++counts.sibling;
@@ -97,23 +177,29 @@ AsGraph::EdgeCounts AsGraph::edge_counts() const {
 }
 
 bool AsGraph::is_stub(NodeId id) const {
-  check_node(id);
-  for (const Neighbor& n : adjacency_[id])
+  const NeighborRange range = neighbors(id);
+  for (const Neighbor& n : range)
     if (n.rel != Relationship::Provider) return false;
-  return !adjacency_[id].empty();
+  return !range.empty();
 }
 
 bool AsGraph::is_multi_homed_stub(NodeId id) const {
   if (!is_stub(id)) return false;
   std::size_t providers = 0;
-  for (const Neighbor& n : adjacency_[id])
+  for (const Neighbor& n : neighbors(id))
     if (n.rel == Relationship::Provider) ++providers;
   return providers >= 2;
 }
 
 std::uint64_t AsGraph::memory_bytes() const {
-  std::uint64_t bytes = vector_bytes(as_numbers_) + vector_bytes(adjacency_) +
-                        hash_map_bytes(index_);
+  std::uint64_t bytes = vector_bytes(as_numbers_);
+  if (finalized_) {
+    bytes += vector_bytes(offsets_) + vector_bytes(edge_nodes_) +
+             vector_bytes(edge_rels_) + vector_bytes(sorted_index_);
+    return bytes;
+  }
+  bytes += vector_bytes(adjacency_) + hash_map_bytes(index_) +
+           hash_map_bytes(edge_keys_);
   for (const auto& list : adjacency_) bytes += vector_bytes(list);
   return bytes;
 }

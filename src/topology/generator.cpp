@@ -16,7 +16,8 @@ NodeId pick_provider(const AsGraph& graph, const std::vector<NodeId>& pool,
   // Weighted sampling by repeated tournament: cheap and heavy-tailed enough.
   // Draw a few candidates uniformly, keep the one with the largest
   // degree-derived score; this approximates preferential attachment while
-  // staying O(1) per draw.
+  // staying O(1) per draw (has_edge is a hash probe on a building graph, so
+  // high-degree tier-1 candidates cost the same as leaves).
   constexpr int kTournament = 6;
   NodeId best = kInvalidNode;
   double best_score = -1;
@@ -32,6 +33,40 @@ NodeId pick_provider(const AsGraph& graph, const std::vector<NodeId>& pool,
     }
   }
   return best;
+}
+
+/// Homes `node` to `want` distinct providers from `pool`. A tournament
+/// round can come up empty (every draw already linked or the customer
+/// itself), which used to silently under-home the node — the realized
+/// multi-homed fraction then undershot multi_home_probability. Retry the
+/// tournament a few times per slot, then fall back to a deterministic scan
+/// for the first eligible pool member, so the intended provider count is
+/// realized whenever the pool has enough unlinked candidates. Returns the
+/// number of links actually added (< want only when the pool is exhausted).
+std::size_t attach_providers(AsGraph& graph, const std::vector<NodeId>& pool,
+                             NodeId node, std::size_t want, double bias,
+                             Rng& rng) {
+  constexpr int kRetries = 12;
+  std::size_t attached = 0;
+  for (std::size_t p = 0; p < want; ++p) {
+    NodeId provider = kInvalidNode;
+    for (int attempt = 0; attempt < kRetries && provider == kInvalidNode;
+         ++attempt) {
+      provider = pick_provider(graph, pool, node, bias, rng);
+    }
+    if (provider == kInvalidNode) {
+      for (NodeId candidate : pool) {
+        if (candidate != node && !graph.has_edge(candidate, node)) {
+          provider = candidate;
+          break;
+        }
+      }
+    }
+    if (provider == kInvalidNode) break;  // pool exhausted for this node
+    graph.add_customer_provider(provider, node);
+    ++attached;
+  }
+  return attached;
 }
 
 std::size_t provider_count_for_stub(const GeneratorParams& params, Rng& rng) {
@@ -78,19 +113,10 @@ AsGraph generate(const GeneratorParams& params) {
     NodeId node = static_cast<NodeId>(params.tier1_count + i);
     std::size_t providers = 1 + (rng.chance(0.55) ? 1 : 0) +
                             (rng.chance(0.18) ? 1 : 0);
-    std::size_t attached = 0;
-    for (std::size_t p = 0; p < providers; ++p) {
-      NodeId provider = pick_provider(graph, transit_pool, node,
-                                      params.attachment_bias, rng);
-      if (provider != kInvalidNode) {
-        graph.add_customer_provider(provider, node);
-        ++attached;
-      }
-    }
-    if (attached == 0) {
-      // Never leave a transit AS disconnected from the hierarchy.
-      graph.add_customer_provider(tier1[0], node);
-    }
+    // The pool is never empty (it starts as the tier-1 clique), so every
+    // transit AS attaches to at least one provider.
+    attach_providers(graph, transit_pool, node, providers,
+                     params.attachment_bias, rng);
     transit_pool.push_back(node);
     transit_nodes.push_back(node);
   }
@@ -100,19 +126,8 @@ AsGraph generate(const GeneratorParams& params) {
   for (NodeId node = static_cast<NodeId>(params.tier1_count + transit_count);
        node < params.node_count; ++node) {
     std::size_t providers = provider_count_for_stub(params, rng);
-    std::size_t attached = 0;
-    for (std::size_t p = 0; p < providers; ++p) {
-      NodeId provider = pick_provider(graph, transit_pool, node,
-                                      params.attachment_bias, rng);
-      if (provider != kInvalidNode) {
-        graph.add_customer_provider(provider, node);
-        ++attached;
-      }
-    }
-    if (attached == 0) {
-      // Guarantee connectivity: home to the highest-degree tier-1.
-      graph.add_customer_provider(tier1[0], node);
-    }
+    attach_providers(graph, transit_pool, node, providers,
+                     params.attachment_bias, rng);
     stubs.push_back(node);
   }
 
@@ -152,13 +167,17 @@ AsGraph generate(const GeneratorParams& params) {
     ++added_siblings;
   }
 
+  // Freeze into the CSR layout: the generator is the one writer, everything
+  // downstream (solver, eval sampling, lint) only reads. The accounted bytes
+  // are therefore always the compact frozen footprint.
+  graph.finalize();
   if (obs::MemoryRegistry* mem = obs::memory())
     mem->account("topology/graph").set_current(graph.memory_bytes());
   return graph;
 }
 
 GeneratorParams profile(std::string_view name, double scale) {
-  require(scale > 0 && scale <= 1.0, "profile: scale must be in (0,1]");
+  require(scale > 0, "profile: scale must be positive");
   GeneratorParams p;
   auto scaled = [&](std::size_t n) {
     return std::max<std::size_t>(
@@ -185,6 +204,22 @@ GeneratorParams profile(std::string_view name, double scale) {
     p.peer_link_fraction = 0.083;
     p.sibling_link_fraction = 0.015;
     p.seed = 2005;
+  } else if (name == "internet2006") {
+    // Measured-Internet scale (ROADMAP item 1): ~70k ASes and ~140k links at
+    // scale 1.0, with the Table 5.1 mix — a thin very-high-degree core, a
+    // ~13% transit tier, ~62% multi-homed stubs drawing 2-4 providers, and
+    // peer/sibling fractions at the top of the measured range. The softer
+    // attachment bias spreads the transit tier into the heavy degree tail
+    // the RouteViews-derived graphs show, instead of collapsing onto the
+    // clique.
+    p.node_count = scaled(70000);
+    p.tier1_count = 16;
+    p.transit_fraction = 0.13;
+    p.multi_home_probability = 0.62;
+    p.peer_link_fraction = 0.10;
+    p.sibling_link_fraction = 0.012;
+    p.attachment_bias = 1.25;
+    p.seed = 2006;
   } else if (name == "agarwal2004") {
     p.node_count = scaled(4200);
     p.tier1_count = 10;

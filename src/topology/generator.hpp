@@ -43,8 +43,10 @@ AsGraph generate(const GeneratorParams& params);
 
 /// Named profiles modeled on the paper's datasets, scaled to laptop size:
 ///   "gao2000", "gao2003", "gao2005", "agarwal2004",
-/// plus "tiny" (a few hundred nodes) for unit tests.
-/// `scale` in (0,1] shrinks node counts further for quick runs.
+/// plus "internet2006" (measured-Internet scale: ~70k ASes / ~140k links at
+/// scale 1.0) and "tiny" (a few hundred nodes) for unit tests.
+/// `scale` > 0 multiplies node counts: < 1 shrinks for quick runs, > 1
+/// grows beyond the profile's nominal size.
 GeneratorParams profile(std::string_view name, double scale = 1.0);
 
 }  // namespace miro::topo

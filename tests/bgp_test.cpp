@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "bgp/decision_process.hpp"
+#include "bgp/path_table.hpp"
 #include "common/error.hpp"
 #include "bgp/path_vector_engine.hpp"
 #include "bgp/route.hpp"
@@ -517,6 +521,60 @@ TEST(RouterLevel, InjectValidatesInput) {
                                       {200}, 100),
                Error);  // path must start with the neighbor AS
   EXPECT_THROW(as_x.add_internal_link(r0, r0, 1), Error);
+}
+
+TEST(PathTable, InternDedupsAndSharesSuffixes) {
+  PathTable table;
+  const std::vector<NodeId> a{4, 2, 1};
+  const std::vector<NodeId> b{5, 2, 1};
+  const PathId pa = table.intern(a);
+  const PathId pb = table.intern(b);
+  EXPECT_NE(pa, kNullPath);
+  EXPECT_NE(pa, pb);
+  // Equal paths intern to the same id — the O(1) equality the RIB relies on.
+  EXPECT_EQ(table.intern(a), pa);
+  // The {2, 1} tail is stored once and shared.
+  EXPECT_EQ(table.suffix(pa), table.suffix(pb));
+  // Distinct suffixes: {1}, {2,1}, {4,2,1}, {5,2,1}.
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.materialize(pa), a);
+  EXPECT_EQ(table.materialize(pb), b);
+  EXPECT_EQ(table.length(pa), 3u);
+  EXPECT_EQ(table.head(pa), 4u);
+  EXPECT_EQ(table.head(pb), 5u);
+}
+
+TEST(PathTable, ContainsWalksTheWholeChain) {
+  PathTable table;
+  const std::vector<NodeId> path{9, 7, 5, 3};
+  const PathId id = table.intern(path);
+  for (NodeId node : path) EXPECT_TRUE(table.contains(id, node));
+  EXPECT_FALSE(table.contains(id, 4));
+  EXPECT_FALSE(table.contains(kNullPath, 9));
+}
+
+TEST(PathTable, NullAndInvalidIds) {
+  PathTable table;
+  EXPECT_EQ(table.intern(std::span<const NodeId>{}), kNullPath);
+  EXPECT_EQ(table.length(kNullPath), 0u);
+  EXPECT_TRUE(table.materialize(kNullPath).empty());
+  EXPECT_THROW(table.head(kNullPath), Error);
+  EXPECT_THROW(table.suffix(kNullPath), Error);
+  EXPECT_THROW(table.head(99), Error);  // never minted
+  EXPECT_THROW(table.extend(topo::kInvalidNode, kNullPath), Error);
+}
+
+TEST(PathTable, MaterializeIntoReusesScratch) {
+  PathTable table;
+  const PathId longer = table.intern(std::vector<NodeId>{8, 6, 4, 2});
+  const PathId shorter = table.intern(std::vector<NodeId>{3, 2});
+  std::vector<NodeId> scratch;
+  table.materialize_into(longer, scratch);
+  EXPECT_EQ(scratch, (std::vector<NodeId>{8, 6, 4, 2}));
+  table.materialize_into(shorter, scratch);  // must clear the previous path
+  EXPECT_EQ(scratch, (std::vector<NodeId>{3, 2}));
+  table.materialize_into(kNullPath, scratch);
+  EXPECT_TRUE(scratch.empty());
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/address.hpp"
@@ -119,6 +122,53 @@ TEST(PrefixTrie, ForEachVisitsAllEntries) {
   });
   EXPECT_EQ(count, 3u);
   EXPECT_EQ(total, 6);
+}
+
+TEST(PrefixTrie, HostRouteLeavesMatchExactly) {
+  // A /32 is the trie's deepest leaf; its neighbors must still fall back to
+  // the covering prefix.
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.0.0.1/32"), 2);
+  auto host = trie.lookup(*Ipv4Address::parse("10.0.0.1"));
+  ASSERT_TRUE(host);
+  EXPECT_EQ(*host->value, 2);
+  EXPECT_EQ(host->prefix_length, 32);
+  auto sibling_ip = trie.lookup(*Ipv4Address::parse("10.0.0.2"));
+  ASSERT_TRUE(sibling_ip);
+  EXPECT_EQ(*sibling_ip->value, 1);
+  EXPECT_EQ(sibling_ip->prefix_length, 8);
+}
+
+TEST(PrefixTrie, EraseFallsBackToCoveringPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.20.0.0/16"), 2);
+  EXPECT_EQ(*trie.lookup(*Ipv4Address::parse("10.20.3.4"))->value, 2);
+  EXPECT_TRUE(trie.erase(*Prefix::parse("10.20.0.0/16")));
+  auto match = trie.lookup(*Ipv4Address::parse("10.20.3.4"));
+  ASSERT_TRUE(match);
+  EXPECT_EQ(*match->value, 1);
+  EXPECT_EQ(match->prefix_length, 8);
+}
+
+TEST(PrefixTrie, ForEachVisitsInLexicographicPrefixOrder) {
+  // Insertion order is deliberately scrambled; for_each promises
+  // lexicographic prefix order (shorter prefix before its more-specifics).
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("12.34.56.0/24"), 3);
+  trie.insert(Prefix(Ipv4Address(0), 0), 0);
+  trie.insert(*Prefix::parse("128.0.0.0/1"), 4);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("12.34.0.0/16"), 2);
+  std::vector<std::string> visited;
+  trie.for_each([&](const Prefix& prefix, int) {
+    visited.push_back(prefix.to_string());
+  });
+  const std::vector<std::string> golden = {"0.0.0.0/0", "10.0.0.0/8",
+                                           "12.34.0.0/16", "12.34.56.0/24",
+                                           "128.0.0.0/1"};
+  EXPECT_EQ(visited, golden);
 }
 
 TEST(PrefixTrie, LookupAgainstLinearScanOnRandomEntries) {

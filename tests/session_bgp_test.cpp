@@ -139,11 +139,12 @@ void expect_converged_and_clean(const SessionedBgpNetwork& network,
     }
     // No Adj-RIB-In entry may survive over a failed link, and every entry
     // must name a real neighbor.
-    for (const auto& [from, path] : network.adj_in_of(node)) {
+    for (const auto& [from, path_id] : network.adj_in_of(node)) {
       EXPECT_TRUE(graph.has_edge(node, from));
       EXPECT_TRUE(network.link_is_up(node, from))
           << "stale entry " << node << " <- " << from;
-      EXPECT_FALSE(path.empty());
+      EXPECT_FALSE(network.adj_in_path(node, from).empty());
+      EXPECT_NE(path_id, kNullPath);
     }
   }
 }

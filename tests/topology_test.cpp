@@ -74,6 +74,104 @@ TEST(AsGraph, ReverseRelationship) {
   EXPECT_EQ(reverse(Relationship::Sibling), Relationship::Sibling);
 }
 
+TEST(AsGraph, ReverseThrowsOnCorruptValue) {
+  // A miscast byte must throw rather than silently classify as some edge
+  // kind and leak into export policy.
+  EXPECT_THROW(reverse(static_cast<Relationship>(200)), Error);
+}
+
+TEST(AsGraph, AccessorsRejectOutOfRangeIds) {
+  AsGraph graph;
+  const NodeId a = graph.add_as(1);
+  graph.add_as(2);
+  const auto bogus = static_cast<NodeId>(graph.node_count());
+  EXPECT_THROW(graph.as_number(bogus), Error);
+  EXPECT_THROW(graph.neighbors(bogus), Error);
+  EXPECT_THROW(graph.degree(bogus), Error);
+  EXPECT_THROW(graph.has_edge(a, bogus), Error);
+  EXPECT_THROW(graph.has_edge(bogus, a), Error);
+  EXPECT_THROW(graph.relationship(a, bogus), Error);
+  EXPECT_THROW(graph.relationship(bogus, a), Error);
+  EXPECT_THROW(graph.add_peer(a, bogus), Error);
+  // The frozen CSR accessors keep the same contract.
+  graph.finalize();
+  EXPECT_THROW(graph.as_number(bogus), Error);
+  EXPECT_THROW(graph.neighbors(bogus), Error);
+  EXPECT_THROW(graph.degree(bogus), Error);
+  EXPECT_THROW(graph.has_edge(a, bogus), Error);
+  EXPECT_THROW(graph.relationship(a, bogus), Error);
+  EXPECT_THROW(graph.relationship(kInvalidNode, a), Error);
+}
+
+TEST(AsGraph, FinalizePreservesEveryAnswer) {
+  // Build an irregular little graph with all three relationship kinds and
+  // non-sequential AS numbers (so the sorted ASN index path is exercised),
+  // snapshot every query, freeze, and require identical answers from the
+  // CSR layout.
+  AsGraph graph;
+  std::vector<NodeId> ids;
+  const AsNumber asns[] = {700, 7, 70, 7000, 77, 707, 7700};
+  for (AsNumber asn : asns) ids.push_back(graph.add_as(asn));
+  graph.add_customer_provider(ids[0], ids[2]);
+  graph.add_customer_provider(ids[0], ids[3]);
+  graph.add_customer_provider(ids[1], ids[3]);
+  graph.add_customer_provider(ids[2], ids[4]);
+  graph.add_peer(ids[0], ids[1]);
+  graph.add_peer(ids[2], ids[3]);
+  graph.add_sibling(ids[5], ids[6]);
+  graph.add_customer_provider(ids[1], ids[5]);
+
+  const std::size_t n = graph.node_count();
+  std::vector<std::vector<bool>> had_edge(n, std::vector<bool>(n));
+  std::vector<std::vector<Relationship>> rels(n,
+                                              std::vector<Relationship>(n));
+  std::vector<std::size_t> degrees(n);
+  for (NodeId x = 0; x < n; ++x) {
+    degrees[x] = graph.degree(x);
+    for (NodeId y = 0; y < n; ++y) {
+      had_edge[x][y] = graph.has_edge(x, y);
+      if (had_edge[x][y]) rels[x][y] = graph.relationship(x, y);
+    }
+  }
+  const AsGraph::EdgeCounts before_counts = graph.edge_counts();
+  const std::uint64_t before_bytes = graph.memory_bytes();
+
+  graph.finalize();
+  EXPECT_TRUE(graph.finalized());
+  graph.finalize();  // idempotent
+
+  EXPECT_EQ(graph.node_count(), n);
+  EXPECT_EQ(graph.edge_count(), 8u);
+  for (NodeId x = 0; x < n; ++x) {
+    EXPECT_EQ(graph.degree(x), degrees[x]);
+    EXPECT_EQ(graph.as_number(x), asns[x]);
+    EXPECT_EQ(graph.find(asns[x]), x);
+    // CSR segments are sorted by neighbor id.
+    const NeighborRange range = graph.neighbors(x);
+    for (std::size_t i = 1; i < range.size(); ++i)
+      EXPECT_LT(range[i - 1].node, range[i].node);
+    for (NodeId y = 0; y < n; ++y) {
+      EXPECT_EQ(graph.has_edge(x, y), had_edge[x][y]);
+      if (had_edge[x][y]) {
+        EXPECT_EQ(graph.relationship(x, y), rels[x][y]);
+      }
+    }
+  }
+  const AsGraph::EdgeCounts after_counts = graph.edge_counts();
+  EXPECT_EQ(after_counts.customer_provider, before_counts.customer_provider);
+  EXPECT_EQ(after_counts.peer, before_counts.peer);
+  EXPECT_EQ(after_counts.sibling, before_counts.sibling);
+  // The whole point of freezing: the CSR layout is smaller.
+  EXPECT_LT(graph.memory_bytes(), before_bytes);
+  EXPECT_EQ(graph.find(9999), kInvalidNode);
+
+  // A frozen graph rejects mutation.
+  EXPECT_THROW(graph.add_as(42), Error);
+  EXPECT_THROW(graph.add_peer(ids[4], ids[5]), Error);
+  EXPECT_THROW(graph.add_customer_provider(ids[4], ids[6]), Error);
+  EXPECT_THROW(graph.add_sibling(ids[3], ids[6]), Error);
+}
+
 TEST(AsGraph, NeighborsWithFilter) {
   AsGraph graph;
   NodeId a = graph.add_as(1);
@@ -140,6 +238,53 @@ TEST(Generator, DeterministicForFixedSeed) {
   const AsGraph g1 = generate(profile("tiny"));
   const AsGraph g2 = generate(profile("tiny"));
   EXPECT_EQ(to_text(g1), to_text(g2));
+}
+
+TEST(Generator, ProducesFinalizedGraphs) {
+  const AsGraph graph = generate(profile("tiny"));
+  EXPECT_TRUE(graph.finalized());
+}
+
+TEST(Generator, MultiHomedFractionTracksParameter) {
+  // The under-homing fix: every stub drawn as multi-homed must actually get
+  // a second provider (retrying collisions instead of giving up), so the
+  // realized fraction among pure stubs tracks multi_home_probability. Peer
+  // and sibling links disqualify a few stubs afterwards, hence the
+  // tolerance.
+  for (const auto& [name, scale] :
+       {std::pair<const char*, double>{"gao2005", 0.5},
+        std::pair<const char*, double>{"internet2006", 0.05}}) {
+    GeneratorParams params = profile(name, scale);
+    params.seed ^= 17;  // a second seed per profile rides the loop below
+    for (int round = 0; round < 2; ++round) {
+      params.seed ^= 17;
+      const AsGraph graph = generate(params);
+      std::size_t stubs = 0;
+      std::size_t multi = 0;
+      for (NodeId node = 0; node < graph.node_count(); ++node) {
+        if (!graph.is_stub(node)) continue;
+        ++stubs;
+        if (graph.is_multi_homed_stub(node)) ++multi;
+      }
+      ASSERT_GT(stubs, 0u) << name;
+      const double fraction =
+          static_cast<double>(multi) / static_cast<double>(stubs);
+      EXPECT_NEAR(fraction, params.multi_home_probability, 0.08)
+          << name << " seed " << params.seed;
+    }
+  }
+}
+
+TEST(Generator, ScaleAboveOneGrowsBeyondNominal) {
+  const GeneratorParams nominal = profile("tiny");
+  const GeneratorParams doubled = profile("tiny", 2.0);
+  EXPECT_GT(doubled.node_count, nominal.node_count);
+  const AsGraph graph = generate(doubled);
+  EXPECT_EQ(graph.node_count(), doubled.node_count);
+  // The full-scale profile nominally matches the measured 2006 Internet.
+  EXPECT_GE(profile("internet2006").node_count, 50000u);
+  EXPECT_THROW(profile("tiny", 0.0), Error);
+  EXPECT_THROW(profile("tiny", -1.0), Error);
 }
 
 TEST(Generator, UnknownProfileThrows) {
